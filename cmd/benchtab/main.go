@@ -1,0 +1,147 @@
+// benchtab regenerates every table and figure of the paper's evaluation
+// (§7): Table 1 and Table 2 (lmbench latencies across the six system
+// configurations, UP and SMP), Figures 3 and 4 (relative application
+// performance), the mode-switch timings of §7.4, and the §5.1.2
+// frame-tracking ablation.
+//
+// Usage:
+//
+//	benchtab                 # everything
+//	benchtab -exp table1     # one experiment: table1 table2 fig3 fig4
+//	                         # switch ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment to run: table1, table2, fig3, fig4, switch, ablation, paging, batching, emulation, addrspace, all")
+	samples := flag.Int("samples", 10, "mode-switch samples")
+	format := flag.String("format", "text", "output format for tables/figures: text or csv")
+	flag.Parse()
+	csv := *format == "csv"
+
+	run := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+	any := false
+
+	if run("table1") {
+		any = true
+		t, err := bench.LmbenchTable(1, bench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csv {
+			bench.WriteTableCSV(os.Stdout, t)
+		} else {
+			bench.WriteTable(os.Stdout, t)
+		}
+		fmt.Println()
+	}
+	if run("table2") {
+		any = true
+		t, err := bench.LmbenchTable(2, bench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csv {
+			bench.WriteTableCSV(os.Stdout, t)
+		} else {
+			bench.WriteTable(os.Stdout, t)
+		}
+		fmt.Println()
+	}
+	if run("fig3") {
+		any = true
+		f, err := bench.AppFigure(1, bench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csv {
+			bench.WriteFigureCSV(os.Stdout, f)
+		} else {
+			bench.WriteFigure(os.Stdout, f)
+		}
+		fmt.Println()
+	}
+	if run("fig4") {
+		any = true
+		f, err := bench.AppFigure(2, bench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csv {
+			bench.WriteFigureCSV(os.Stdout, f)
+		} else {
+			bench.WriteFigure(os.Stdout, f)
+		}
+		fmt.Println()
+	}
+	if run("switch") {
+		any = true
+		r, err := bench.ModeSwitchBench(*samples, core.TrackRecompute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteSwitch(os.Stdout, r)
+		fmt.Println()
+	}
+	if run("paging") {
+		any = true
+		r, err := bench.PagingAblation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WritePagingAblation(os.Stdout, r)
+		fmt.Println()
+	}
+	if run("ablation") {
+		any = true
+		a, err := bench.TrackingAblation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteAblation(os.Stdout, a)
+		fmt.Println()
+	}
+	if run("batching") {
+		any = true
+		r, err := bench.BatchingAblation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteBatchingAblation(os.Stdout, r)
+		fmt.Println()
+	}
+	if run("emulation") {
+		any = true
+		r, err := bench.EmulationAblation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteEmulationAblation(os.Stdout, r)
+		fmt.Println()
+	}
+	if run("addrspace") {
+		any = true
+		r, err := bench.AddrSpaceAblation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteAddrSpaceAblation(os.Stdout, r)
+		fmt.Println()
+	}
+	if !any {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

@@ -1,0 +1,170 @@
+// mercuryctl drives a simulated Mercury system through its lifecycle
+// from the command line: boot, run a workload, switch modes, host a
+// guest, heal, update — printing what the engine does at each step.
+//
+// Usage:
+//
+//	mercuryctl -demo lifecycle   # boot, attach, host, detach
+//	mercuryctl -demo stress      # repeated switches under process load
+//	mercuryctl -demo scenarios   # healing + live update episodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+func main() {
+	demo := flag.String("demo", "lifecycle", "demo to run: lifecycle, stress, scenarios, stats, trace")
+	policy := flag.String("tracking", "recompute", "frame tracking: recompute or active")
+	ncpu := flag.Int("cpus", 1, "number of CPUs")
+	flag.Parse()
+
+	pol := core.TrackRecompute
+	if *policy == "active" {
+		pol = core.TrackActive
+	}
+	cfg := hw.DefaultConfig()
+	cfg.NumCPUs = *ncpu
+	machine := hw.NewMachine(cfg)
+	mc, err := core.New(core.Config{Machine: machine, Policy: pol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mercury: %s, tracking=%s, mode=%v\n", machine, *policy, mc.Mode())
+
+	switch *demo {
+	case "lifecycle":
+		lifecycle(mc)
+	case "stress":
+		stress(mc)
+	case "scenarios":
+		scenarios(mc)
+	case "stats":
+		stats(mc)
+	case "trace":
+		trace(mc)
+	default:
+		log.Fatalf("unknown demo %q", *demo)
+	}
+}
+
+func lifecycle(mc *core.Mercury) {
+	c := mc.M.BootCPU()
+	us := func(n uint64) float64 { return mc.M.Micros(n) }
+
+	must(mc.SwitchSync(c, core.ModePartialVirtual))
+	fmt.Printf("attach:  %7.1f us  (mode=%v)\n", us(mc.Stats.LastAttachCyc.Load()), mc.Mode())
+
+	domU, err := mc.VMM.HypDomctlCreateFromFrames(c, mc.Dom, "guest", 1024)
+	must(err)
+	fmt.Printf("hosting: dom%d (%s) with %d hosted domains total\n",
+		domU.ID, domU.Name, len(mc.HostedDomains()))
+
+	must(mc.VMM.HypDomctlDestroy(c, mc.Dom, domU.ID))
+	must(mc.SwitchSync(c, core.ModeNative))
+	fmt.Printf("detach:  %7.1f us  (mode=%v)\n", us(mc.Stats.LastDetachCyc.Load()), mc.Mode())
+}
+
+func stress(mc *core.Mercury) {
+	k := mc.K
+	boot := mc.M.BootCPU()
+	k.Spawn(boot, "stress", guest.DefaultImage("stress"), func(p *guest.Proc) {
+		base := p.Mmap(128, guest.ProtRead|guest.ProtWrite, true)
+		p.Touch(base, 128, true)
+		for i := 0; i < 20; i++ {
+			must(mc.SwitchSync(p.CPU(), core.ModePartialVirtual))
+			p.Touch(base, 128, false)
+			must(mc.SwitchSync(p.CPU(), core.ModeNative))
+			p.Touch(base, 128, true)
+		}
+	})
+	k.Run(boot)
+	fmt.Printf("20 round trips: attaches=%d detaches=%d deferred=%d fixed-frames=%d\n",
+		mc.Stats.Attaches.Load(), mc.Stats.Detaches.Load(),
+		mc.Stats.Deferred.Load(), mc.Stats.FixedFrames.Load())
+	fmt.Printf("last attach %.1f us, last detach %.1f us\n",
+		mc.M.Micros(mc.Stats.LastAttachCyc.Load()),
+		mc.M.Micros(mc.Stats.LastDetachCyc.Load()))
+}
+
+func scenarios(mc *core.Mercury) {
+	c := mc.M.BootCPU()
+
+	mc.K.InjectRunqueueCorruption()
+	rep, err := mc.SelfHeal(c, []core.Sensor{core.RunqueueSensor()}, core.RunqueueRepair())
+	must(err)
+	fmt.Printf("healing: sensor=%s healed=%v window=%.1f us\n",
+		rep.Sensor, rep.Healed, rep.AttachedForUS)
+
+	upd, err := mc.LiveUpdate(c, core.KernelPatch{
+		Name:  "noop-refresh",
+		Apply: func(k *guest.Kernel) error { return nil },
+	})
+	must(err)
+	fmt.Printf("update:  patch=%s window=%.1f us native-before-and-after=%v\n",
+		upd.Patch, upd.AttachedForUS, upd.WasNative && mc.Mode() == core.ModeNative)
+}
+
+func stats(mc *core.Mercury) {
+	// Run a mixed workload, then dump every subsystem's counters.
+	k := mc.K
+	boot := mc.M.BootCPU()
+	k.Spawn(boot, "mix", guest.DefaultImage("mix"), func(p *guest.Proc) {
+		fd, _ := p.Creat("/data")
+		p.Write(fd, 256<<10)
+		p.Close(fd)
+		base := p.Mmap(64, guest.ProtRead|guest.ProtWrite, false)
+		p.Touch(base, 64, true)
+		must(mc.SwitchSync(p.CPU(), core.ModePartialVirtual))
+		p.Touch(base, 64, false)
+		must(mc.SwitchSync(p.CPU(), core.ModeNative))
+		p.Fork("child", func(cp *guest.Proc) { cp.Exit(0) })
+		p.Wait()
+	})
+	k.Run(boot)
+	fmt.Printf("kernel: %d forks, %d ctx switches, %d syscalls, %d faults\n",
+		k.Stats.Forks.Load(), k.Stats.CtxSwitches.Load(),
+		k.Stats.Syscalls.Load(), k.Stats.PageFaults.Load())
+	fmt.Printf("vmm: %d hypercalls, dom mmu updates %d\n",
+		mc.VMM.Stats.Hypercalls.Load(), mc.Dom.Stats.MMUUpdates.Load())
+	fmt.Printf("mercury: attaches=%d detaches=%d last attach %.1f us\n",
+		mc.Stats.Attaches.Load(), mc.Stats.Detaches.Load(),
+		mc.M.Micros(mc.Stats.LastAttachCyc.Load()))
+}
+
+func trace(mc *core.Mercury) {
+	// Record every hypervisor decision across one attach/host/detach
+	// cycle — the xentrace view of a mode switch.
+	mc.VMM.Trace.Enable()
+	c := mc.M.BootCPU()
+	must(mc.SwitchSync(c, core.ModePartialVirtual))
+	domU, err := mc.VMM.HypDomctlCreateFromFrames(c, mc.Dom, "guest", 256)
+	must(err)
+	must(mc.VMM.HypDomctlDestroy(c, mc.Dom, domU.ID))
+	must(mc.SwitchSync(c, core.ModeNative))
+	mc.VMM.Trace.Disable()
+	evs := mc.VMM.Trace.Snapshot()
+	fmt.Printf("%d events:\n", len(evs))
+	show := evs
+	if len(show) > 24 {
+		show = show[:24]
+	}
+	for _, e := range show {
+		fmt.Println("  " + e.String())
+	}
+	if len(evs) > len(show) {
+		fmt.Printf("  ... %d more\n", len(evs)-len(show))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

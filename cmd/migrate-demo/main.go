@@ -1,0 +1,86 @@
+// migrate-demo runs the online-maintenance migration (§6.3) with
+// adjustable parameters and prints a per-round transfer report — the
+// pre-copy behaviour Clark et al. plot as pages-per-round.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/xen"
+)
+
+func main() {
+	pages := flag.Int("pages", 1024, "live pages in the migrating guest")
+	dirtyRate := flag.Int("dirty", 40, "pages dirtied per pre-copy round")
+	rounds := flag.Int("max-rounds", 8, "pre-copy round limit")
+	flag.Parse()
+
+	machA := hw.NewMachine(hw.Config{Name: "A", MemBytes: 256 << 20, NumCPUs: 1})
+	mcA, err := core.New(core.Config{Machine: machA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cA := machA.BootCPU()
+
+	machB := hw.NewMachine(hw.Config{Name: "B", MemBytes: 256 << 20, NumCPUs: 1})
+	vmmB, err := xen.Boot(machB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cB := machB.BootCPU()
+	vmmB.Activate(cB)
+	dom0B, err := vmmB.CreateDomain("dom0", 4096, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vmmB.SetCurrent(cB, dom0B)
+	hw.Wire(machA.NIC, machB.NIC, hw.Gigabit())
+
+	if err := mcA.SwitchSync(cA, core.ModePartialVirtual); err != nil {
+		log.Fatal(err)
+	}
+	guest, err := mcA.VMM.HypDomctlCreateFromFrames(cA, mcA.Dom, "guest",
+		hw.PFN(*pages)+64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, _ := guest.Frames.Range()
+	for i := 0; i < *pages; i++ {
+		machA.Mem.WriteWord((lo + hw.PFN(i)).Addr(), uint32(i))
+	}
+
+	cfg := migrate.DefaultLiveConfig()
+	cfg.MaxRounds = *rounds
+	cfg.Mutator = func(round int) {
+		for i := 0; i < *dirtyRate; i++ {
+			pfn := lo + hw.PFN((round*97+i*13)%*pages)
+			machA.Mem.WriteWord(pfn.Addr()+4, uint32(round*1000+i))
+		}
+	}
+	moved, rep, err := migrate.Live(cA, mcA.VMM, mcA.Dom, guest, vmmB, dom0B, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("migrated %q: %d pages total\n", moved.Name, rep.TotalPages)
+	fmt.Printf("%-8s %s\n", "round", "pages sent")
+	for _, r := range rep.Rounds {
+		bar := ""
+		for i := 0; i < r.Pages/16; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%-8d %-6d %s\n", r.Round, r.Pages, bar)
+	}
+	fmt.Printf("downtime: %.1f us   total: %.2f ms\n",
+		rep.DowntimeUSec, rep.TotalUSec/1000)
+
+	if err := mcA.SwitchSync(cA, core.ModeNative); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source machine back in %v mode, ready for maintenance\n", mcA.Mode())
+}

@@ -1,0 +1,100 @@
+// HPC cluster availability (§6.5): hardware monitors watch temperature,
+// fan speed and voltages; when the failure predictor trips on a node,
+// the node self-virtualizes, its hosted execution environment migrates
+// to a healthy node, and the (now empty) node detaches its VMM so it can
+// be pulled for repair — the running programs never stop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/xen"
+)
+
+func main() {
+	// Node 1: a compute node running Mercury in native mode (full
+	// speed), with one hosted compute environment.
+	node1 := hw.NewMachine(hw.Config{Name: "node1", MemBytes: 128 << 20, NumCPUs: 1})
+	mc1, err := core.New(core.Config{Machine: node1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c1 := node1.BootCPU()
+	if err := mc1.SwitchSync(c1, core.ModePartialVirtual); err != nil {
+		log.Fatal(err)
+	}
+	job, err := mc1.VMM.HypDomctlCreateFromFrames(c1, mc1.Dom, "mpi-rank-0", 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, _ := job.Frames.Range()
+	for i := 0; i < 800; i++ {
+		node1.Mem.WriteWord((lo + hw.PFN(i)).Addr(), uint32(0x4A0B_0000+i))
+	}
+	fmt.Printf("[node1] hosting %q (800 pages of solver state)\n", job.Name)
+
+	// Node 2: the healthy spare in partial-virtual mode.
+	node2 := hw.NewMachine(hw.Config{Name: "node2", MemBytes: 128 << 20, NumCPUs: 1})
+	vmm2, err := xen.Boot(node2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2 := node2.BootCPU()
+	vmm2.Activate(c2)
+	dom02, err := vmm2.CreateDomain("dom0", 4096, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vmm2.SetCurrent(c2, dom02)
+	hw.Wire(node1.NIC, node2.NIC, hw.Gigabit())
+
+	predictor := core.DefaultPredictor()
+
+	// Healthy sweep: nothing happens.
+	if rep, err := mc1.EvacuateOnFailure(c1, predictor, vmm2, dom02, migrate.DefaultLiveConfig()); err != nil || rep != nil {
+		log.Fatalf("healthy node evacuated: %v %v", rep, err)
+	}
+	fmt.Printf("[node1] sensors nominal: temp=%.0fC fan=%.0frpm\n",
+		node1.Sensors.Read(hw.SensorCPUTempC), node1.Sensors.Read(hw.SensorFanRPM))
+
+	// A fan starts dying; temperature climbs past the threshold.
+	node1.Sensors.Set(hw.SensorFanRPM, 1200)
+	node1.Sensors.Set(hw.SensorCPUTempC, 91)
+	fmt.Println("[node1] fan failing: 1200 rpm, cpu at 91 C")
+
+	cfg := migrate.DefaultLiveConfig()
+	cfg.Mutator = func(round int) { // the solver keeps computing
+		for i := 0; i < 25; i++ {
+			node1.Mem.WriteWord((lo+hw.PFN((round*17+i)%800)).Addr()+12, uint32(round))
+		}
+	}
+	rep, err := mc1.EvacuateOnFailure(c1, predictor, vmm2, dom02, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[node1] predictor: %s\n", rep.Predicted)
+	for i, name := range rep.Evacuated {
+		lr := rep.Migration[i]
+		fmt.Printf("[node1->node2] %q: %d pages, %d rounds, downtime %.1f us\n",
+			name, lr.TotalPages, len(lr.Rounds), lr.DowntimeUSec)
+	}
+	fmt.Printf("[node1] node released (mode=%v) — pull it for repair\n", mc1.Mode())
+
+	// The job's state survived intact on node 2.
+	d2 := vmm2.Domains
+	var moved *xen.Domain
+	for _, d := range d2 {
+		if d.Name == "mpi-rank-0-migrated" {
+			moved = d
+		}
+	}
+	lo2, _ := moved.Frames.Range()
+	if got := node2.Mem.ReadWord(lo2.Addr()); got != 0x4A0B_0000 {
+		log.Fatalf("solver state corrupted: %#x", got)
+	}
+	fmt.Printf("[node2] %q verified and running\n", moved.Name)
+}

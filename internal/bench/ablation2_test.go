@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestBatchingAblation(t *testing.T) {
+	r, err := BatchingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteBatchingAblation(os.Stdout, r)
+	if r.SpeedupFactor < 1.5 {
+		t.Fatalf("batching speedup only %.2fx", r.SpeedupFactor)
+	}
+}
+
+func TestEmulationAblation(t *testing.T) {
+	r, err := EmulationAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteEmulationAblation(os.Stdout, r)
+	if r.PenaltyRatio < 1.2 {
+		t.Fatalf("trap-emulation penalty only %.2fx", r.PenaltyRatio)
+	}
+}
+
+func TestAddrSpaceAblation(t *testing.T) {
+	r, err := AddrSpaceAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteAddrSpaceAblation(os.Stdout, r)
+	if r.SeparateForkUS <= r.SharedForkUS {
+		t.Fatal("separate address space did not cost more on fork")
+	}
+	if r.SeparateCtxUS <= r.SharedCtxUS {
+		t.Fatal("separate address space did not cost more on ctx switch")
+	}
+}

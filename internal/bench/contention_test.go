@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// TestHostedGuestStealsWeightedCPUShare: a CPU-hungry hosted guest
+// slows the driver domain down by roughly its credit share — the
+// VMM-level contention a self-virtualized system only pays while it is
+// actually hosting guests.
+func TestHostedGuestStealsWeightedCPUShare(t *testing.T) {
+	// measure returns the simulated time the driver domain needs for a
+	// fixed amount of its own computation while hosting (or not) a
+	// background burner with the given weight.
+	measure := func(burner bool, weight uint32) hw.Cycles {
+		m := hw.NewMachine(hw.Config{MemBytes: 128 << 20, NumCPUs: 1})
+		mc, err := core.New(core.Config{Machine: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot := m.BootCPU()
+		mc.K.Blk = &guest.NativeBlock{K: mc.K, Disk: m.Disk}
+		mc.K.Net = &guest.NativeNet{K: mc.K, NIC: m.NIC}
+		if err := mc.SwitchSync(boot, core.ModePartialVirtual); err != nil {
+			t.Fatal(err)
+		}
+		if burner {
+			domU, err := mc.VMM.HypDomctlCreateFromFrames(boot, mc.Dom, "burner", 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			domU.BackgroundWork = func(c *hw.CPU, budget hw.Cycles) {
+				c.Clk.Advance(budget) // pure compute, no polling
+			}
+			mc.VMM.SetWeight(domU, weight)
+			mc.VMM.SetWeight(mc.Dom, 256)
+		}
+		var elapsed hw.Cycles
+		mc.K.Spawn(boot, "worker", guest.DefaultImage("worker"), func(p *guest.Proc) {
+			start := p.CPU().Now()
+			p.Work(hw.Cycles(m.Hz / 4)) // 250 ms of own computation
+			elapsed = p.CPU().Now() - start
+		})
+		mc.K.Run(boot)
+		return elapsed
+	}
+
+	alone := measure(false, 0)
+	equal := measure(true, 256) // 50/50 share with the burner
+	light := measure(true, 64)  // burner gets 1/5
+	zeroed := measure(true, 0)  // weight 0: never scheduled
+
+	// Equal weights: the driver domain's work takes roughly twice as
+	// long (it keeps only ~half the CPU).
+	ratio := float64(equal) / float64(alone)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("equal-weight slowdown = %.2fx, want ~2x", ratio)
+	}
+	// A lighter burner steals less.
+	lightRatio := float64(light) / float64(alone)
+	if lightRatio >= ratio || lightRatio < 1.05 {
+		t.Errorf("light burner slowdown = %.2fx (equal was %.2fx)", lightRatio, ratio)
+	}
+	// Weight zero steals nothing measurable.
+	zeroRatio := float64(zeroed) / float64(alone)
+	if zeroRatio > 1.05 {
+		t.Errorf("weight-0 burner still stole CPU: %.2fx", zeroRatio)
+	}
+}

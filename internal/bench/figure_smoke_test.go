@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workloads"
+)
+
+// Per-workload smoke tests on the N-L baseline: each must terminate and
+// produce a plausible score.
+func TestOSDBSmoke(t *testing.T) {
+	s, err := Build(NL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workloads.OSDB(s.Target())
+	if r.Cycles == 0 || r.Queries == 0 {
+		t.Fatalf("OSDB result: %+v", r)
+	}
+}
+
+func TestDbenchSmoke(t *testing.T) {
+	s, err := Build(NL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workloads.Dbench(s.Target())
+	if r.MBps <= 0 {
+		t.Fatalf("dbench result: %+v", r)
+	}
+}
+
+func TestKBuildSmoke(t *testing.T) {
+	s, err := Build(NL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workloads.KernelBuild(s.Target())
+	if r.Cycles == 0 {
+		t.Fatalf("kbuild result: %+v", r)
+	}
+}
+
+func TestPingSmoke(t *testing.T) {
+	s, err := Build(NL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workloads.Ping(s.Target())
+	if r.AvgRTTMicros <= 0 {
+		t.Fatalf("ping result: %+v", r)
+	}
+}
+
+func TestIperfSmoke(t *testing.T) {
+	s, err := Build(NL, Options{AckEvery: workloads.IperfTCPAckWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.M.NIC.SetLink(hw.Gigabit())
+	r := workloads.Iperf(s.Target(), workloads.IperfTCPAckWindow)
+	if r.Mbps <= 0 {
+		t.Fatalf("iperf result: %+v", r)
+	}
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/workloads"
+)
+
+// FigureResult is one application-level relative-performance chart
+// (Figure 3 or Figure 4): for every benchmark, the performance of each
+// system normalized to native Linux (1.0 = native speed; higher is
+// better).
+type FigureResult struct {
+	Name       string
+	NCPU       int
+	Benchmarks []string
+	Systems    []SystemKey
+	Relative   [][]float64 // [benchmark][system]
+	// Raw carries the underlying scores for EXPERIMENTS.md.
+	Raw     [][]float64
+	RawUnit []string
+}
+
+// FigureBenchmarks lists the application benchmarks in the figures.
+var FigureBenchmarks = []string{"OSDB-IR", "dbench", "kernel-build", "ping", "iperf-TCP", "iperf-UDP"}
+
+// AppFigure regenerates Figure 3 (ncpu=1) or Figure 4 (ncpu=2).
+func AppFigure(ncpu int, opt Options) (FigureResult, error) {
+	opt.NCPU = ncpu
+	name := "Fig. 3: relative app performance, uniprocessor mode"
+	if ncpu > 1 {
+		name = "Fig. 4: relative app performance, SMP mode"
+	}
+	res := FigureResult{
+		Name: name, NCPU: ncpu,
+		Benchmarks: FigureBenchmarks,
+		Systems:    AllSystems,
+		Relative:   make([][]float64, len(FigureBenchmarks)),
+		Raw:        make([][]float64, len(FigureBenchmarks)),
+		RawUnit:    []string{"us", "MB/s", "us", "us RTT", "Mb/s", "Mb/s"},
+	}
+	for i := range res.Relative {
+		res.Relative[i] = make([]float64, len(AllSystems))
+		res.Raw[i] = make([]float64, len(AllSystems))
+	}
+
+	for j, key := range AllSystems {
+		// OSDB-IR (time-based: relative = native time / system time).
+		s, err := Build(key, opt)
+		if err != nil {
+			return res, fmt.Errorf("bench: %s: %w", key, err)
+		}
+		osdb := workloads.OSDB(s.Target())
+		res.Raw[0][j] = s.Micros(osdb.Cycles)
+
+		// dbench (throughput score).
+		s, err = Build(key, opt)
+		if err != nil {
+			return res, err
+		}
+		db := workloads.Dbench(s.Target())
+		res.Raw[1][j] = db.MBps
+
+		// kernel build (time).
+		s, err = Build(key, opt)
+		if err != nil {
+			return res, err
+		}
+		kb := workloads.KernelBuild(s.Target())
+		res.Raw[2][j] = s.Micros(kb.Cycles)
+
+		// ping (RTT).
+		s, err = Build(key, opt)
+		if err != nil {
+			return res, err
+		}
+		pg := workloads.Ping(s.Target())
+		res.Raw[3][j] = pg.AvgRTTMicros
+
+		// iperf TCP (Gigabit link, windowed acks).
+		s, err = Build(key, Options{NCPU: opt.NCPU, MemBytes: opt.MemBytes,
+			Costs: opt.Costs, Policy: opt.Policy, AckEvery: workloads.IperfTCPAckWindow})
+		if err != nil {
+			return res, err
+		}
+		s.M.NIC.SetLink(hw.Gigabit())
+		tcp := workloads.Iperf(s.Target(), workloads.IperfTCPAckWindow)
+		res.Raw[4][j] = tcp.Mbps
+
+		// iperf UDP (Gigabit link, no acks).
+		s, err = Build(key, opt)
+		if err != nil {
+			return res, err
+		}
+		s.M.NIC.SetLink(hw.Gigabit())
+		udp := workloads.Iperf(s.Target(), 0)
+		res.Raw[5][j] = udp.Mbps
+	}
+
+	// Normalize: index 0 is N-L.
+	for i := range res.Benchmarks {
+		nl := res.Raw[i][0]
+		for j := range res.Systems {
+			switch i {
+			case 0, 2, 3: // time/RTT: lower is better
+				res.Relative[i][j] = nl / res.Raw[i][j]
+			default: // throughput: higher is better
+				res.Relative[i][j] = res.Raw[i][j] / nl
+			}
+		}
+	}
+	return res, nil
+}

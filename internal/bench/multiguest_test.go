@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hw"
+	"repro/internal/vo"
+	"repro/internal/xen"
+)
+
+// TestMercuryHostsMultipleGuests: unlike Microvisor's two-VM limit, a
+// self-virtualized Mercury hosts several unmodified guests at once,
+// each with its own kernel, memory partition and split devices.
+func TestMercuryHostsMultipleGuests(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 256 << 20, NumCPUs: 1})
+	m.NIC.Reflector = guest.EchoReflector(MeasuredNetID, 0)
+	m.NIC.ReflectDelay = 18_000
+	mc, err := core.New(core.Config{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := m.BootCPU()
+	attachDrivers := func(k *guest.Kernel) {
+		k.Blk = &guest.NativeBlock{K: k, Disk: m.Disk}
+		k.Net = &guest.NativeNet{K: k, NIC: m.NIC}
+	}
+	attachDrivers(mc.K)
+	mc.K.SetNetID(driverNetID)
+	if err := mc.SwitchSync(boot, core.ModePartialVirtual); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host three unmodified guests.
+	const nGuests = 3
+	kernels := make([]*guest.Kernel, nGuests)
+	for i := 0; i < nGuests; i++ {
+		domU, err := mc.VMM.HypDomctlCreateFromFrames(boot, mc.Dom, "domU", 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc.VMM.SetCurrent(boot, domU)
+		k, err := guest.Boot(m, guest.Config{
+			Name: "guest", VO: vo.NewVirtual(mc.VMM, domU),
+			Frames: domU.Frames, Dom: domU, VMM: mc.VMM,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		attachDrivers(k) // direct drivers suffice for this CPU/mem test
+		kernels[i] = k
+	}
+	if got := len(mc.HostedDomains()); got != nGuests {
+		t.Fatalf("hosted domains = %d", got)
+	}
+
+	// Run a workload in each guest, one at a time (one pCPU): memory
+	// isolation means each sees only its own writes.
+	for i, k := range kernels {
+		i, k := i, k
+		mc.VMM.SetCurrent(boot, k.Dom)
+		done := false
+		k.Spawn(boot, "app", guest.DefaultImage("app"), func(p *guest.Proc) {
+			base := p.Mmap(16, guest.ProtRead|guest.ProtWrite, true)
+			c := p.CPU()
+			for j := 0; j < 16; j++ {
+				c.WriteWord(base+hw.VirtAddr(j<<hw.PageShift), uint32(i*1000+j))
+			}
+			for j := 0; j < 16; j++ {
+				if got := c.ReadWord(base + hw.VirtAddr(j<<hw.PageShift)); got != uint32(i*1000+j) {
+					t.Errorf("guest %d saw %d", i, got)
+				}
+			}
+			done = true
+		})
+		k.Run(boot)
+		if !done {
+			t.Fatalf("guest %d did not run", i)
+		}
+	}
+
+	// Frame accounting stayed coherent across all guests.
+	if err := mc.VMM.FT.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Each guest's partition is disjoint and owned correctly.
+	owners := map[xen.DomID]bool{}
+	for _, k := range kernels {
+		lo, hi := k.Dom.Frames.Range()
+		if fi := mc.VMM.FT.Get(lo); fi.Owner != k.Dom.ID {
+			t.Fatalf("frame %d owner = dom%d", lo, fi.Owner)
+		}
+		if owners[k.Dom.ID] {
+			t.Fatal("duplicate domain id")
+		}
+		owners[k.Dom.ID] = true
+		_ = hi
+	}
+
+	// Tear the guests down; then the host can detach.
+	for _, k := range kernels {
+		if err := mc.VMM.HypDomctlDestroy(boot, mc.Dom, k.Dom.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mc.VMM.SetCurrent(boot, mc.Dom)
+	if err := mc.SwitchSync(boot, core.ModeNative); err != nil {
+		t.Fatal(err)
+	}
+}

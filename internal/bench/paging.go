@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// PagingAblationResult compares direct paging against shadow paging on
+// the mode-switch path (§3.2.2: "as the page table entries in guest
+// operating systems are directly installed in hardware, no translation
+// is required during a mode switch... Mercury utilizes the direct access
+// mode").
+type PagingAblationResult struct {
+	DirectAttachUS float64
+	ShadowAttachUS float64
+	DirectDetachUS float64
+	ShadowDetachUS float64
+	ShadowFrames   int // VMM memory consumed by shadows while attached
+}
+
+// PagingAblation measures attach/detach times for both paging modes
+// under the standard mode-switch process load.
+func PagingAblation() (PagingAblationResult, error) {
+	var res PagingAblationResult
+
+	run := func(shadow bool) (attach, detach float64, frames int, err error) {
+		cfg := hw.DefaultConfig()
+		cfg.NumCPUs = 1
+		m := hw.NewMachine(cfg)
+		mc, err := core.New(core.Config{Machine: m, ShadowPaging: shadow})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		k := mc.K
+		boot := m.BootCPU()
+		k.Spawn(boot, "load", guest.DefaultImage("load"), func(p *guest.Proc) {
+			// The same resident load ModeSwitchBench uses.
+			hold := k.NewPipe()
+			ready := k.NewPipe()
+			for i := 0; i < switchLoadProcs; i++ {
+				p.Fork("load", func(lp *guest.Proc) {
+					img := guest.DefaultImage("load")
+					lp.Touch(guest.TextBase, img.TextPages, false)
+					base := lp.Mmap(128, guest.ProtRead|guest.ProtWrite, true)
+					lp.Touch(base, 128, true)
+					lp.PipeWrite(ready, 1)
+					lp.PipeRead(hold, 1)
+					lp.Exit(0)
+				})
+			}
+			p.PipeRead(ready, switchLoadProcs)
+			for i := 0; i < 5; i++ {
+				if err := mc.SwitchSync(p.CPU(), core.ModePartialVirtual); err != nil {
+					panic(err)
+				}
+				if shadow && mc.VMM.ShadowFramesInUse() > frames {
+					frames = mc.VMM.ShadowFramesInUse()
+				}
+				if err := mc.SwitchSync(p.CPU(), core.ModeNative); err != nil {
+					panic(err)
+				}
+			}
+			p.PipeWrite(hold, switchLoadProcs)
+			for i := 0; i < switchLoadProcs; i++ {
+				p.Wait()
+			}
+		})
+		k.Run(boot)
+		return m.Micros(mc.Stats.LastAttachCyc.Load()),
+			m.Micros(mc.Stats.LastDetachCyc.Load()), frames, nil
+	}
+
+	var err error
+	if res.DirectAttachUS, res.DirectDetachUS, _, err = run(false); err != nil {
+		return res, fmt.Errorf("bench: direct paging run: %w", err)
+	}
+	if res.ShadowAttachUS, res.ShadowDetachUS, res.ShadowFrames, err = run(true); err != nil {
+		return res, fmt.Errorf("bench: shadow paging run: %w", err)
+	}
+	return res, nil
+}
+
+// WritePagingAblation renders the comparison.
+func WritePagingAblation(w io.Writer, r PagingAblationResult) {
+	fmt.Fprintln(w, "Paging-mode ablation (S3.2.2: why Mercury uses direct mode):")
+	fmt.Fprintf(w, "  attach, direct paging : %10.1f us\n", r.DirectAttachUS)
+	fmt.Fprintf(w, "  attach, shadow paging : %10.1f us  (+%.0f%%: every entry translated into a shadow)\n",
+		r.ShadowAttachUS, (r.ShadowAttachUS/r.DirectAttachUS-1)*100)
+	fmt.Fprintf(w, "  detach, direct paging : %10.1f us\n", r.DirectDetachUS)
+	fmt.Fprintf(w, "  detach, shadow paging : %10.1f us\n", r.ShadowDetachUS)
+	fmt.Fprintf(w, "  shadow footprint      : %d frames of VMM memory while attached\n",
+		r.ShadowFrames)
+}

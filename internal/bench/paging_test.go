@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestPagingAblationSmoke(t *testing.T) {
+	r, err := PagingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	WritePagingAblation(os.Stdout, r)
+	if r.ShadowAttachUS <= r.DirectAttachUS {
+		t.Fatalf("shadow attach (%v) not dearer than direct (%v)",
+			r.ShadowAttachUS, r.DirectAttachUS)
+	}
+	if r.ShadowFrames == 0 {
+		t.Fatal("no shadow footprint recorded")
+	}
+}

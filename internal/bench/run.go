@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// Run spawns an init process with the default image on the measured
+// kernel and drives the scheduler on every CPU until all processes have
+// exited. It returns the boot CPU's elapsed cycles.
+func (s *System) Run(name string, body guest.Body) hw.Cycles {
+	boot := s.M.BootCPU()
+	start := boot.Now()
+	s.K.Spawn(boot, name, guest.DefaultImage(name), body)
+	done := make(chan struct{})
+	for _, c := range s.M.CPUs[1:] {
+		go func(c *hw.CPU) {
+			s.K.Run(c)
+			done <- struct{}{}
+		}(c)
+	}
+	s.K.Run(boot)
+	for range s.M.CPUs[1:] {
+		<-done
+	}
+	return boot.Now() - start
+}
+
+// Micros converts boot-CPU cycles to microseconds.
+func (s *System) Micros(n hw.Cycles) float64 { return s.M.Micros(n) }

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteStats dumps a built system's counters after a run — what an
+// operator would read to understand where the cycles went.
+func (s *System) WriteStats(w io.Writer) {
+	fmt.Fprintf(w, "system %s on %s\n", s.Key, s.M)
+	k := s.K
+	fmt.Fprintf(w, "  kernel: %d forks, %d execs, %d ctx switches, %d syscalls, %d faults, %d ticks\n",
+		k.Stats.Forks.Load(), k.Stats.Execs.Load(), k.Stats.CtxSwitches.Load(),
+		k.Stats.Syscalls.Load(), k.Stats.PageFaults.Load(), k.Stats.Ticks.Load())
+	fmt.Fprintf(w, "  fs: %d creates, %d unlinks, %d cache hits / %d misses, %d writebacks\n",
+		k.FS.Stats.Creates, k.FS.Stats.Unlinks,
+		k.FS.Stats.CacheHits, k.FS.Stats.CacheMisses, k.FS.Stats.Writebacks)
+	for _, c := range s.M.CPUs {
+		fmt.Fprintf(w, "  cpu%d: %d interrupts, %d faults, %d cr3 writes, tlb %d/%d hit/miss (%d flushes), %.1f ms busy\n",
+			c.ID, c.Stats.Interrupts, c.Stats.Faults, c.Stats.CR3Writes,
+			c.TLB.Hits, c.TLB.Misses, c.TLB.Flushes,
+			float64(c.Now()-c.Stats.IdleCycles)/float64(s.M.Hz)*1e3)
+	}
+	fmt.Fprintf(w, "  disk: %d requests, %d blocks (%d KB written, %d KB read)\n",
+		s.M.Disk.Stats.Requests, s.M.Disk.Stats.BlocksIO,
+		s.M.Disk.Stats.BytesWritten>>10, s.M.Disk.Stats.BytesRead>>10)
+	fmt.Fprintf(w, "  nic: %d tx / %d rx packets (%d KB / %d KB)\n",
+		s.M.NIC.Stats.TxPackets.Load(), s.M.NIC.Stats.RxPackets.Load(),
+		s.M.NIC.Stats.TxBytes.Load()>>10, s.M.NIC.Stats.RxBytes.Load()>>10)
+	if s.VMM != nil {
+		fmt.Fprintf(w, "  vmm: %d hypercalls, %d domain switches, %d faults handled, %d activations\n",
+			s.VMM.Stats.Hypercalls.Load(), s.VMM.Stats.DomSwitches.Load(),
+			s.VMM.Stats.FaultsHandled.Load(), s.VMM.Stats.Activations.Load())
+	}
+	if s.Dom != nil {
+		fmt.Fprintf(w, "  dom%d: %d hypercalls, %d mmu updates, %d fault bounces, %d events in / %d out\n",
+			s.Dom.ID, s.Dom.Stats.Hypercalls.Load(), s.Dom.Stats.MMUUpdates.Load(),
+			s.Dom.Stats.FaultBounces.Load(), s.Dom.Stats.EventsIn.Load(), s.Dom.Stats.EventsOut.Load())
+	}
+	if s.Mercury != nil {
+		mc := s.Mercury
+		fmt.Fprintf(w, "  mercury: mode=%v, %d attaches (%0.1f us last), %d detaches (%0.1f us last), %d deferred, %d failed, %d frames fixed\n",
+			mc.Mode(), mc.Stats.Attaches.Load(), s.Micros(mc.Stats.LastAttachCyc.Load()),
+			mc.Stats.Detaches.Load(), s.Micros(mc.Stats.LastDetachCyc.Load()),
+			mc.Stats.Deferred.Load(), mc.Stats.FailedSwitches.Load(),
+			mc.Stats.FixedFrames.Load())
+	}
+}

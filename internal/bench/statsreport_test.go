@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/workloads"
+)
+
+func TestWriteStatsCoversSubsystems(t *testing.T) {
+	s, err := Build(MV, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run("work", func(p *guest.Proc) {
+		fd, _ := p.Creat("/f")
+		p.Write(fd, 32<<10)
+		p.Close(fd)
+		p.Fork("c", func(cp *guest.Proc) { cp.Exit(0) })
+		p.Wait()
+		_ = p.Ping(2, 56)
+	})
+	var sb strings.Builder
+	s.WriteStats(&sb)
+	out := sb.String()
+	for _, want := range []string{"kernel:", "fs:", "cpu0:", "disk:", "nic:",
+		"vmm:", "mercury:", "hypercalls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+	_ = workloads.LmbenchResult{}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := TableResult{
+		Name: "t", Columns: []SystemKey{NL, X0},
+		Rows:   []string{"Fork Process"},
+		Values: [][]float64{{98, 482}},
+	}
+	var sb strings.Builder
+	WriteTableCSV(&sb, tb)
+	want := "benchmark,N-L,X-0\n\"Fork Process\",98.000,482.000\n"
+	if sb.String() != want {
+		t.Fatalf("table csv = %q", sb.String())
+	}
+
+	fig := FigureResult{
+		Benchmarks: []string{"dbench"},
+		Systems:    []SystemKey{NL, XU},
+		Relative:   [][]float64{{1, 1.05}},
+		Raw:        [][]float64{{2900, 3000}},
+		RawUnit:    []string{"MB/s"},
+	}
+	sb.Reset()
+	WriteFigureCSV(&sb, fig)
+	if !strings.Contains(sb.String(), "\"dbench\",1.0000,1.0500,2900.00,\"MB/s\"") {
+		t.Fatalf("figure csv = %q", sb.String())
+	}
+}

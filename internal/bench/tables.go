@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/workloads"
+)
+
+// Target adapts a built system for the workload suite.
+func (s *System) Target() *workloads.Target {
+	return &workloads.Target{
+		K:        s.K,
+		M:        s.M,
+		RemoteID: 2,
+		Run:      func(name string, body guest.Body) { s.Run(name, body) },
+	}
+}
+
+// TableResult is one lmbench latency table (Table 1 or Table 2): rows
+// are benchmarks, columns are the six systems, values in microseconds.
+type TableResult struct {
+	Name    string
+	NCPU    int
+	Columns []SystemKey
+	Rows    []string
+	Values  [][]float64 // [row][column]
+}
+
+// LmbenchTable regenerates Table 1 (ncpu=1) or Table 2 (ncpu=2): the
+// OS-related lmbench latencies across all six configurations.
+func LmbenchTable(ncpu int, opt Options) (TableResult, error) {
+	opt.NCPU = ncpu
+	name := "Table 1: lmbench latency, uniprocessor mode (us)"
+	if ncpu > 1 {
+		name = "Table 2: lmbench latency, SMP mode (us)"
+	}
+	res := TableResult{Name: name, NCPU: ncpu, Columns: AllSystems}
+	var cols [][]float64
+	for _, key := range AllSystems {
+		s, err := Build(key, opt)
+		if err != nil {
+			return res, fmt.Errorf("bench: %s: %w", key, err)
+		}
+		r := workloads.Lmbench(s.Target())
+		rows, vals := r.Rows()
+		res.Rows = rows
+		cols = append(cols, vals)
+	}
+	res.Values = make([][]float64, len(res.Rows))
+	for i := range res.Rows {
+		res.Values[i] = make([]float64, len(cols))
+		for j := range cols {
+			res.Values[i][j] = cols[j][i]
+		}
+	}
+	return res, nil
+}

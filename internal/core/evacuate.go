@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/xen"
+)
+
+// Surviving predicted hardware failures on HPC clusters (§6.5): hardware
+// monitors feed a failure predictor; when a failure is predicted, the
+// node self-virtualizes and its execution environment migrates to a
+// healthy node "with no need to stop and restart" the running programs.
+
+// FailurePredictor evaluates the machine's sensor bank against failure
+// thresholds (Leangsuksun et al.'s policy-based prediction, [51]).
+type FailurePredictor struct {
+	// MaxCPUTempC, MinFanRPM, VoltTolerance define the healthy envelope.
+	MaxCPUTempC   float64
+	MinFanRPM     float64
+	CoreVoltNom   float64
+	PSUVoltNom    float64
+	VoltTolerance float64 // fractional deviation allowed
+}
+
+// DefaultPredictor returns thresholds for the simulated Xeon platform.
+func DefaultPredictor() FailurePredictor {
+	return FailurePredictor{
+		MaxCPUTempC:   85,
+		MinFanRPM:     3000,
+		CoreVoltNom:   1.32,
+		PSUVoltNom:    12.0,
+		VoltTolerance: 0.10,
+	}
+}
+
+// Predict returns a non-nil error describing the predicted failure, or
+// nil when the node looks healthy.
+func (fp FailurePredictor) Predict(s *hw.SensorBank) error {
+	if t := s.Read(hw.SensorCPUTempC); t > fp.MaxCPUTempC {
+		return fmt.Errorf("cpu temperature %.0f C exceeds %.0f C", t, fp.MaxCPUTempC)
+	}
+	if r := s.Read(hw.SensorFanRPM); r < fp.MinFanRPM {
+		return fmt.Errorf("fan at %.0f rpm below %.0f", r, fp.MinFanRPM)
+	}
+	dev := func(v, nom float64) float64 {
+		d := v/nom - 1
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if v := s.Read(hw.SensorCoreVolt); dev(v, fp.CoreVoltNom) > fp.VoltTolerance {
+		return fmt.Errorf("core voltage %.2f V out of tolerance", v)
+	}
+	if v := s.Read(hw.SensorPSUVolt); dev(v, fp.PSUVoltNom) > fp.VoltTolerance {
+		return fmt.Errorf("psu voltage %.2f V out of tolerance", v)
+	}
+	return nil
+}
+
+// EvacuationReport describes one completed node evacuation.
+type EvacuationReport struct {
+	Predicted    string
+	Evacuated    []string // names of migrated domains
+	Migration    []*migrate.LiveReport
+	NodeReleased bool // the failing node detached its VMM afterwards
+}
+
+// EvacuateOnFailure polls the predictor; if a failure is predicted, the
+// node attaches its VMM (if not attached), live-migrates every hosted
+// domain to the destination VMM, and — now empty — detaches so the node
+// can be powered off for repair. Returns nil, nil when healthy.
+func (mc *Mercury) EvacuateOnFailure(c *hw.CPU, fp FailurePredictor,
+	dst *xen.VMM, dstCaller *xen.Domain, cfg migrate.LiveConfig) (*EvacuationReport, error) {
+
+	predicted := fp.Predict(mc.M.Sensors)
+	if predicted == nil {
+		return nil, nil
+	}
+	rep := &EvacuationReport{Predicted: predicted.Error()}
+
+	if mc.Mode() == ModeNative {
+		if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+			return rep, fmt.Errorf("core: self-virtualizing for evacuation: %w", err)
+		}
+	}
+	for _, d := range mc.HostedDomains() {
+		moved, lr, err := migrate.Live(c, mc.VMM, mc.Dom, d, dst, dstCaller, cfg)
+		if err != nil {
+			return rep, fmt.Errorf("core: evacuating dom%d: %w", d.ID, err)
+		}
+		rep.Evacuated = append(rep.Evacuated, moved.Name)
+		rep.Migration = append(rep.Migration, lr)
+	}
+	// Nothing hosted any more: release the node.
+	if err := mc.SwitchSync(c, ModeNative); err != nil {
+		return rep, fmt.Errorf("core: detaching after evacuation: %w", err)
+	}
+	rep.NodeReleased = true
+	return rep, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// Self-healing (§6.2): sensors watch for anomalies in the running OS;
+// when one fires, the system self-virtualizes, the (now fully
+// privileged) VMM repairs the tainted state from outside the kernel,
+// and the VMM detaches again — no second machine, no steady-state
+// overhead.
+
+// Sensor inspects the kernel and reports an anomaly, or nil.
+type Sensor struct {
+	Name  string
+	Check func(k *guest.Kernel) error
+}
+
+// Repair fixes the anomaly a sensor reported, running with the VMM
+// attached (full control over the OS).
+type Repair func(c *hw.CPU, mc *Mercury) error
+
+// HealReport describes one healing episode.
+type HealReport struct {
+	Sensor        string
+	Anomaly       string
+	Healed        bool
+	AttachedForUS float64
+}
+
+// SelfHeal runs every sensor; on the first anomaly it attaches the VMM,
+// runs the repair, verifies the sensor is quiet, and detaches. Returns
+// nil, nil when no sensor fired.
+func (mc *Mercury) SelfHeal(c *hw.CPU, sensors []Sensor, repair Repair) (*HealReport, error) {
+	var tripped *Sensor
+	var anomaly error
+	for i := range sensors {
+		if err := sensors[i].Check(mc.K); err != nil {
+			tripped = &sensors[i]
+			anomaly = err
+			break
+		}
+	}
+	if tripped == nil {
+		return nil, nil
+	}
+	rep := &HealReport{Sensor: tripped.Name, Anomaly: anomaly.Error()}
+
+	wasNative := mc.Mode() == ModeNative
+	if wasNative {
+		if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+			return rep, fmt.Errorf("core: attaching for healing: %w", err)
+		}
+	}
+	attachedAt := c.Now()
+	repairErr := repair(c, mc)
+	if repairErr == nil {
+		if err := tripped.Check(mc.K); err != nil {
+			repairErr = fmt.Errorf("anomaly persists after repair: %w", err)
+		} else {
+			rep.Healed = true
+		}
+	}
+	rep.AttachedForUS = float64(c.Now()-attachedAt) / float64(mc.M.Hz) * 1e6
+	if wasNative {
+		if err := mc.SwitchSync(c, ModeNative); err != nil {
+			return rep, fmt.Errorf("core: detaching after healing: %w", err)
+		}
+	}
+	return rep, repairErr
+}
+
+// RunqueueSensor detects corrupted scheduler state (dead processes on
+// the run queue) — the class of "tainted kernel state" a healing VMM
+// repairs from outside.
+func RunqueueSensor() Sensor {
+	return Sensor{
+		Name:  "runqueue-integrity",
+		Check: func(k *guest.Kernel) error { return k.CheckRunqueue() },
+	}
+}
+
+// RunqueueRepair drops invalid entries from the scheduler's run queue.
+func RunqueueRepair() Repair {
+	return func(c *hw.CPU, mc *Mercury) error {
+		n := mc.K.RepairRunqueue(c)
+		if n == 0 {
+			return fmt.Errorf("core: nothing to repair")
+		}
+		return nil
+	}
+}

@@ -1,0 +1,283 @@
+// Package core implements Mercury itself: the self-virtualization engine
+// that dynamically attaches a pre-cached, full-fledged VMM underneath a
+// running operating system and detaches it again, in sub-millisecond
+// time, without disturbing running applications (§4, §5).
+//
+// The engine combines:
+//   - a VMM pre-cached at machine boot (§4.1): xen.Boot builds and warms
+//     every hypervisor structure; only per-switch state is touched later;
+//   - virtualization objects (§4.2): the kernel's sensitive operations go
+//     through vo.Object; a mode switch swaps the object pointer;
+//   - behavior-consistency machinery (§5.1): reference-counted switch
+//     commit with a 10 ms retry timer, state-transfer functions
+//     (page-table pinning/release, kernel segment privilege flips,
+//     interrupt rebinding, cached-selector fixup on sleeping threads'
+//     kernel stacks) and state reloading inside an uninterruptible
+//     interrupt handler;
+//   - SMP coordination via IPIs and shared counters (§5.4).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/guest"
+	"repro/internal/hw"
+	"repro/internal/vo"
+	"repro/internal/xen"
+)
+
+// Mode is the operating system's execution mode.
+type Mode int32
+
+// Execution modes (§6): native = bare hardware at PL0; partial-virtual =
+// on the VMM as the (privileged) driver domain, able to host other
+// domains; full-virtual = on the VMM as an unprivileged, migratable
+// domain.
+const (
+	ModeNative Mode = iota
+	ModePartialVirtual
+	ModeFullVirtual
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModePartialVirtual:
+		return "partial-virtual"
+	case ModeFullVirtual:
+		return "full-virtual"
+	}
+	return fmt.Sprintf("mode%d", int32(m))
+}
+
+// TrackingPolicy selects how the VMM's frame accounting is kept valid
+// across native-mode execution (§5.1.2).
+type TrackingPolicy int
+
+const (
+	// TrackRecompute re-computes and synchronizes frame info during the
+	// mode switch — the paper's preferred approach (no native overhead,
+	// longer attach).
+	TrackRecompute TrackingPolicy = iota
+	// TrackActive mirrors every native page-table store into the VMM's
+	// accounting (2–3 % native overhead, faster attach).
+	TrackActive
+)
+
+// Stats records mode-switch behaviour.
+type Stats struct {
+	Attaches       atomic.Uint64
+	Detaches       atomic.Uint64
+	Deferred       atomic.Uint64 // switches postponed by a non-zero refcount
+	FailedSwitches atomic.Uint64 // switches rolled back (failure-resistant path)
+	FixedFrames    atomic.Uint64 // saved frames patched by the selector stub
+	LastAttachCyc  atomic.Uint64
+	LastDetachCyc  atomic.Uint64
+}
+
+// Mercury is one self-virtualizable system: a guest kernel plus its
+// pre-cached VMM and the two virtualization-object instances.
+type Mercury struct {
+	M   *hw.Machine
+	K   *guest.Kernel
+	VMM *xen.VMM
+	Dom *xen.Domain // the kernel's standing domain identity
+
+	NativeVO  *vo.Native
+	VirtualVO *vo.Virtual
+
+	Policy TrackingPolicy
+
+	mode atomic.Int32
+
+	// pending is the requested transition, consumed by the interrupt
+	// handler.
+	pending atomic.Int32 // -1 none, else target Mode
+
+	// retryTicks is the deferred-switch retry interval in cycles
+	// (the paper's example uses 10 ms — one 100 Hz tick).
+	retryTicks hw.Cycles
+
+	smp rendezvousState
+
+	// lastErr records the most recent switch failure (nil after a
+	// successful switch).
+	lastErr atomic.Pointer[switchError]
+
+	Stats Stats
+}
+
+// switchError boxes an error for atomic storage.
+type switchError struct{ err error }
+
+func (mc *Mercury) setLastError(err error) {
+	if err == nil {
+		mc.lastErr.Store(nil)
+		return
+	}
+	mc.lastErr.Store(&switchError{err: err})
+}
+
+// LastSwitchError returns the most recent mode-switch failure, or nil.
+// A failed switch is not fatal (§8's failure-resistant switch): the
+// system keeps running in its previous mode.
+func (mc *Mercury) LastSwitchError() error {
+	if e := mc.lastErr.Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+// Config assembles a Mercury system.
+type Config struct {
+	Machine *hw.Machine
+	Policy  TrackingPolicy
+	// KernelHz is the guest timer frequency (default 100 Hz).
+	KernelHz uint64
+	// ShadowPaging selects the VMM's shadow-paging mode instead of
+	// direct paging (§3.2.2). Mercury's default is direct mode: shadow
+	// mode makes every attach pay a full translation of the live page
+	// tables — measured by bench.PagingAblation. Uniprocessor only.
+	ShadowPaging bool
+}
+
+// New builds a complete Mercury system on a fresh machine: the VMM is
+// booted (pre-cached) first, then the kernel boots in native mode with
+// Mercury's native virtualization object. The kernel starts in
+// ModeNative with the VMM inactive in memory.
+func New(cfg Config) (*Mercury, error) {
+	m := cfg.Machine
+	v, err := xen.Boot(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: pre-caching VMM: %w", err)
+	}
+	// The running OS's standing domain identity: adopted once at warmup
+	// so a switch only touches per-switch state (§4.1).
+	dom := v.AdoptDomain("mercury-os", m.Frames, true)
+
+	nat := vo.NewNative(m)
+	if cfg.Policy == TrackActive {
+		nat.Track = &vo.Tracker{V: v, D: dom}
+	}
+	k, err := guest.Boot(m, guest.Config{
+		Name:    "mercury-linux",
+		VO:      nat,
+		Frames:  m.Frames,
+		HzTicks: cfg.KernelHz,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: booting kernel: %w", err)
+	}
+	mc := &Mercury{
+		M: m, K: k, VMM: v, Dom: dom,
+		NativeVO:  nat,
+		VirtualVO: vo.NewVirtual(v, dom),
+		Policy:    cfg.Policy,
+	}
+	if cfg.ShadowPaging {
+		if len(m.CPUs) > 1 {
+			return nil, fmt.Errorf("core: shadow paging is uniprocessor-only in this build")
+		}
+		v.ShadowMode = true
+	}
+	mc.retryTicks = m.Hz / guest.DefaultHzTicks // 10 ms
+	mc.pending.Store(-1)
+	mc.installGates()
+	return mc, nil
+}
+
+// Mode returns the current execution mode.
+func (mc *Mercury) Mode() Mode { return Mode(mc.mode.Load()) }
+
+// installGates registers the self-virtualization interrupt handlers
+// (§4.1) in both the kernel IDT (reachable in native mode) and the VMM
+// IDT (reachable in virtual mode), plus the SMP rendezvous vector.
+func (mc *Mercury) installGates() {
+	gate := hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) { mc.modeSwitchISR(c, f) }}
+	apGate := hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) { mc.apRendezvousISR(c, f) }}
+	mc.K.IDT.Set(hw.VecModeSwitch, gate)
+	mc.K.IDT.Set(hw.VecModeSwitchAP, apGate)
+	mc.VMM.SetGate(hw.VecModeSwitch, gate)
+	mc.VMM.SetGate(hw.VecModeSwitchAP, apGate)
+}
+
+// RequestSwitch asks for a transition to the target mode by raising the
+// self-virtualization interrupt on the control processor. The switch
+// happens in interrupt context; if sensitive code is in flight the
+// handler re-arms itself via a retry timer (§5.1.1).
+func (mc *Mercury) RequestSwitch(target Mode) error {
+	cur := mc.Mode()
+	if cur == target {
+		return nil
+	}
+	if !mc.pending.CompareAndSwap(-1, int32(target)) {
+		return fmt.Errorf("core: a mode switch is already pending")
+	}
+	mc.M.BootCPU().LAPIC.Post(hw.VecModeSwitch)
+	return nil
+}
+
+// SwitchSync requests a switch and spins (charging the calling CPU)
+// until it commits. Intended for orchestration code running on the
+// control processor's thread of execution. Application processors that
+// no scheduler is currently driving get a temporary idle loop so they
+// can take the rendezvous IPI (§5.4) — on hardware a halted core wakes
+// on the interrupt by itself.
+func (mc *Mercury) SwitchSync(c *hw.CPU, target Mode) error {
+	done := make(chan struct{})
+	var idlers sync.WaitGroup
+	for _, other := range mc.M.CPUs {
+		if other == c || !other.TryDrive() {
+			continue
+		}
+		idlers.Add(1)
+		go func(ap *hw.CPU) {
+			defer idlers.Done()
+			defer ap.ReleaseDrive()
+			ap.IdleUntil(func() bool {
+				select {
+				case <-done:
+					return true
+				default:
+					return false
+				}
+			})
+		}(other)
+	}
+	err := mc.RequestSwitch(target)
+	if err == nil {
+		for mc.Mode() != target {
+			c.Charge(50)
+			// A failed (rolled-back) switch clears the request without
+			// changing the mode; stop waiting and report it. (A deferred
+			// commit keeps the request pending between retries, so this
+			// only triggers on genuine failure.)
+			if mc.pending.Load() == -1 && mc.Mode() != target {
+				if e := mc.LastSwitchError(); e != nil {
+					err = e
+					break
+				}
+			}
+		}
+	}
+	close(done)
+	idlers.Wait()
+	return err
+}
+
+// HostedDomains returns the unprivileged domains currently hosted (only
+// meaningful in partial-virtual mode).
+func (mc *Mercury) HostedDomains() []*xen.Domain {
+	var out []*xen.Domain
+	for _, d := range mc.VMM.Domains {
+		if d != mc.Dom {
+			out = append(out, d)
+		}
+	}
+	return out
+}

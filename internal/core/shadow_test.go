@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// TestShadowModeRoundTrip runs a full attach/detach with shadow paging:
+// the application's memory survives, hardware runs on shadows while
+// attached, and every shadow frame is released at detach.
+func TestShadowModeRoundTrip(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 64 << 20, NumCPUs: 1})
+	mc, err := New(Config{Machine: m, ShadowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mc.K
+	boot := m.BootCPU()
+
+	k.Spawn(boot, "app", guest.DefaultImage("app"), func(p *guest.Proc) {
+		base := p.Mmap(16, guest.ProtRead|guest.ProtWrite, true)
+		c := p.CPU()
+		for i := 0; i < 16; i++ {
+			c.WriteWord(base+hw.VirtAddr(i<<hw.PageShift), uint32(5000+i))
+		}
+		guestRoot := c.ReadCR3()
+
+		if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+			panic(err)
+		}
+		c = p.CPU()
+		// Hardware no longer runs on the guest's own tables.
+		if c.ReadCR3() == guestRoot {
+			panic("shadow mode left hardware on the guest root")
+		}
+		if mc.VMM.ShadowFramesInUse() == 0 {
+			panic("no shadows allocated")
+		}
+		// Memory reads resolve identically through the shadow.
+		for i := 0; i < 16; i++ {
+			if got := c.ReadWord(base + hw.VirtAddr(i<<hw.PageShift)); got != uint32(5000+i) {
+				panic("shadow walk returned wrong data")
+			}
+		}
+		// New mappings propagate into the shadow via write-through.
+		b2 := p.Mmap(4, guest.ProtRead|guest.ProtWrite, false)
+		p.Touch(b2, 4, true)
+		if err := mc.VMM.VerifyShadow(mc.Dom, guestRoot); err != nil {
+			panic(err)
+		}
+
+		if err := mc.SwitchSync(c, ModeNative); err != nil {
+			panic(err)
+		}
+		c = p.CPU()
+		if c.ReadCR3() != guestRoot {
+			panic("detach did not restore the guest root")
+		}
+		for i := 0; i < 16; i++ {
+			if got := c.ReadWord(base + hw.VirtAddr(i<<hw.PageShift)); got != uint32(5000+i) {
+				panic("memory corrupted across shadow round trip")
+			}
+		}
+		p.Munmap(b2)
+		p.Munmap(base)
+	})
+	k.Run(boot)
+
+	if got := mc.VMM.ShadowFramesInUse(); got != 0 {
+		t.Fatalf("shadow frames leaked: %d", got)
+	}
+}
+
+// TestShadowModeRejectsSMP documents the implementation restriction.
+func TestShadowModeRejectsSMP(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 64 << 20, NumCPUs: 2})
+	if _, err := New(Config{Machine: m, ShadowPaging: true}); err == nil {
+		t.Fatal("SMP shadow paging accepted")
+	}
+}

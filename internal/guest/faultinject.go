@@ -1,0 +1,46 @@
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Fault injection for dependability testing: ways to put the kernel
+// into the "incorrect state" the paper's future-work section worries a
+// mode switch might encounter (§8), so the failure-resistant switch can
+// be exercised.
+
+// CorruptPageTableMapping plants, behind the kernel's back, a writable
+// leaf mapping of one of this address space's own page-table frames —
+// precisely the state the VMM's frame validation must reject, since a
+// writable page-table page would let the (possibly compromised) kernel
+// forge mappings. Returns an undo function that removes the corruption.
+func (as *AddrSpace) CorruptPageTableMapping() (undo func(), err error) {
+	mem := as.K.M.Mem
+	// Find a present page directory entry: its L1 frame is the victim.
+	var pt hw.PFN
+	found := false
+	for pdi := 0; pdi < hw.PTEntries && !found; pdi++ {
+		pde := hw.ReadPTE(mem, as.PT.Root, pdi)
+		if pde.Present() {
+			pt = pde.Frame()
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("guest: address space has no page tables to corrupt")
+	}
+	// Find a free slot in that same table and map the table itself,
+	// writable.
+	for idx := hw.PTEntries - 1; idx >= 0; idx-- {
+		if hw.ReadPTE(mem, pt, idx).Present() {
+			continue
+		}
+		hw.WritePTE(mem, pt, idx,
+			hw.MakePTE(pt, hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+		slot := idx
+		return func() { hw.WritePTE(mem, pt, slot, 0) }, nil
+	}
+	return nil, fmt.Errorf("guest: no free slot for corruption")
+}

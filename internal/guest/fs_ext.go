@@ -1,0 +1,217 @@
+package guest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+)
+
+// Extended filesystem operations: rename, hard links, truncate and
+// directory listing — the rest of the surface dbench-class workloads
+// exercise on a real kernel.
+
+// Rename moves a file (or directory) to a new path, replacing any
+// existing file there.
+func (fs *FS) Rename(c *hw.CPU, oldPath, newPath string) error {
+	c.Charge(fs.k.M.Costs.PageCacheLookup * 2) // two dentry walks
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oldDir, oldName, err := fs.splitDir(oldPath)
+	if err != nil {
+		return err
+	}
+	ino, ok := oldDir.children[oldName]
+	if !ok {
+		return fmt.Errorf("fs: %s: no such file", oldPath)
+	}
+	newDir, newName, err := fs.splitDir(newPath)
+	if err != nil {
+		return err
+	}
+	delete(oldDir.children, oldName)
+	newDir.children[newName] = ino
+	ino.Name = newName
+	return nil
+}
+
+// Link creates a hard link: both paths name the same inode.
+func (fs *FS) Link(c *hw.CPU, oldPath, newPath string) error {
+	c.Charge(fs.k.M.Costs.PageCacheLookup * 2)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, err := fs.lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	if ino.Dir {
+		return fmt.Errorf("fs: %s: cannot hard-link a directory", oldPath)
+	}
+	dir, name, err := fs.splitDir(newPath)
+	if err != nil {
+		return err
+	}
+	if _, exists := dir.children[name]; exists {
+		return fmt.Errorf("fs: %s: already exists", newPath)
+	}
+	dir.children[name] = ino
+	ino.nlink++
+	return nil
+}
+
+// UnlinkKeepsDataWhileLinked is documented behaviour: Unlink drops one
+// name; the inode's pages are released only with the last link. (The
+// plain Unlink in fs.go handles the single-link case; this variant
+// handles nlink bookkeeping.)
+func (fs *FS) unlinkLocked(c *hw.CPU, dir *Inode, name string) ([]hw.PFN, error) {
+	ino, ok := dir.children[name]
+	if !ok {
+		return nil, fmt.Errorf("fs: %s: no such file", name)
+	}
+	delete(dir.children, name)
+	ino.nlink--
+	if ino.nlink > 0 {
+		return nil, nil // other names keep the data alive
+	}
+	if d, ok := fs.dirty[ino]; ok {
+		fs.dirtyCount -= len(d)
+		delete(fs.dirty, ino)
+	}
+	var frames []hw.PFN
+	for _, pg := range ino.pages {
+		frames = append(frames, pg.pfn)
+	}
+	ino.pages = make(map[int]*cachePage)
+	return frames, nil
+}
+
+// Truncate sets the file size, dropping cache pages beyond the new end.
+func (fs *FS) Truncate(c *hw.CPU, path string, size int) error {
+	c.Charge(fs.k.M.Costs.PageCacheLookup)
+	fs.mu.Lock()
+	ino, err := fs.lookup(path)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if ino.Dir {
+		fs.mu.Unlock()
+		return fmt.Errorf("fs: %s: is a directory", path)
+	}
+	var freed []hw.PFN
+	if size < ino.Size {
+		keep := (size + hw.PageSize - 1) >> hw.PageShift
+		for idx, pg := range ino.pages {
+			if idx >= keep {
+				if pg.dirty {
+					if d := fs.dirty[ino]; d != nil && d[idx] {
+						delete(d, idx)
+						fs.dirtyCount--
+					}
+				}
+				freed = append(freed, pg.pfn)
+				delete(ino.pages, idx)
+				delete(ino.blocks, idx)
+			}
+		}
+	}
+	ino.Size = size
+	fs.mu.Unlock()
+	for _, pfn := range freed {
+		fs.k.unrefPage(pfn)
+	}
+	return nil
+}
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name string
+	Dir  bool
+	Size int
+}
+
+// ReadDir lists a directory in name order.
+func (fs *FS) ReadDir(c *hw.CPU, path string) ([]DirEntry, error) {
+	c.Charge(fs.k.M.Costs.PageCacheLookup)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !dir.Dir {
+		return nil, fmt.Errorf("fs: %s: not a directory", path)
+	}
+	out := make([]DirEntry, 0, len(dir.children))
+	for name, ino := range dir.children {
+		c.Charge(fs.k.M.Costs.MemRead * 4)
+		out = append(out, DirEntry{Name: name, Dir: ino.Dir, Size: ino.Size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Nlink reports the link count of a path.
+func (fs *FS) Nlink(c *hw.CPU, path string) (int, error) {
+	c.Charge(fs.k.M.Costs.PageCacheLookup)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, err := fs.lookup(path)
+	if err != nil {
+		return 0, err
+	}
+	return ino.nlink, nil
+}
+
+// --- process-level wrappers ---
+
+// Rename moves oldPath to newPath.
+func (p *Proc) Rename(oldPath, newPath string) error {
+	var err error
+	p.Syscall(func(c *hw.CPU) { err = p.K.FS.Rename(c, oldPath, newPath) })
+	return err
+}
+
+// Link creates a hard link.
+func (p *Proc) Link(oldPath, newPath string) error {
+	var err error
+	p.Syscall(func(c *hw.CPU) { err = p.K.FS.Link(c, oldPath, newPath) })
+	return err
+}
+
+// Truncate resizes a file.
+func (p *Proc) Truncate(path string, size int) error {
+	var err error
+	p.Syscall(func(c *hw.CPU) { err = p.K.FS.Truncate(c, path, size) })
+	return err
+}
+
+// ReadDir lists a directory.
+func (p *Proc) ReadDir(path string) ([]DirEntry, error) {
+	var out []DirEntry
+	var err error
+	p.Syscall(func(c *hw.CPU) { out, err = p.K.FS.ReadDir(c, path) })
+	return out, err
+}
+
+// CachedPages reports how many frames the page cache currently holds
+// (all inodes), for memory-accounting checks.
+func (fs *FS) CachedPages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	var walk func(ino *Inode)
+	seen := make(map[*Inode]bool)
+	walk = func(ino *Inode) {
+		if seen[ino] {
+			return
+		}
+		seen[ino] = true
+		n += len(ino.pages)
+		for _, ch := range ino.children {
+			walk(ch)
+		}
+	}
+	walk(fs.root)
+	return n
+}

@@ -1,0 +1,441 @@
+// Package guest implements the paravirtualizable operating system kernel
+// Mercury self-virtualizes: processes with fork/exec, a scheduler,
+// demand-paged address spaces over simulated page tables, a page cache
+// and filesystem, block and network drivers in both native and split
+// frontend variants, and a minimal network stack.
+//
+// Every virtualization-sensitive operation the kernel performs goes
+// through its current virtualization object (internal/vo), so the same
+// kernel runs on bare hardware (N-L, M-N), as a Xen driver domain (X-0,
+// M-V) or as an unprivileged domain with split I/O (X-U, M-U), and can be
+// relocated between those modes while running.
+package guest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/pgtable"
+	"repro/internal/vo"
+	"repro/internal/xen"
+)
+
+// Config selects how the kernel is built and bound.
+type Config struct {
+	// Name labels the kernel instance in diagnostics.
+	Name string
+	// VO is the initial virtualization object (nil means Direct — an
+	// unmodified native kernel).
+	VO vo.Object
+	// Frames is the kernel's physical memory partition.
+	Frames *hw.FrameAllocator
+	// Dom is the domain this kernel runs in, when it boots on a VMM.
+	Dom *xen.Domain
+	// VMM is set alongside Dom.
+	VMM *xen.VMM
+	// HzTicks is the timer frequency; the paper uses 100 Hz throughout.
+	HzTicks uint64
+	// ServiceOnly marks a kernel that only provides driver-domain
+	// services (backends) and never runs its own scheduler or timer
+	// tick — the passive dom0 of the X-U and M-U configurations.
+	ServiceOnly bool
+}
+
+// DefaultHzTicks is the 100 Hz timer frequency used in the evaluation.
+const DefaultHzTicks = 100
+
+// Kernel is one running operating system instance.
+type Kernel struct {
+	Name string
+	M    *hw.Machine
+
+	// obj is the current virtualization object; Mercury swaps it during
+	// a mode switch. Access through VO()/SetVO.
+	obj atomic.Pointer[voHolder]
+
+	Frames *hw.FrameAllocator
+	Dom    *xen.Domain
+	VMM    *xen.VMM
+
+	// IDT is the kernel's own trap table (installed directly in native
+	// mode, registered with the VMM in virtual mode).
+	IDT *hw.IDT
+	// GDT is the kernel's descriptor table for native mode.
+	GDT *hw.GDT
+
+	// big kernel lock guarding scheduler and process state; acquisition
+	// is charged so SMP contention shows up in the numbers.
+	lk      kernelLock
+	procs   map[Pid]*Proc
+	nextPid Pid
+	runq    []*Proc
+	cur     []*Proc // per physical CPU
+	nlive   atomic.Int64
+
+	needResched atomic.Bool
+	stopping    atomic.Bool
+
+	// pageRefs counts sharers of anonymous/COW frames.
+	pageRefs map[hw.PFN]int
+	pagesMu  sync.Mutex
+
+	FS  *FS
+	Blk BlockDriver
+	Net NetDriver
+
+	timers  *timerWheel
+	HzTicks uint64
+
+	// netID is this kernel's link-layer address.
+	netID byte
+	// netRx is the local inbound frame queue (filled by the NIC ISR).
+	netRx     []Frame
+	netRxWait waitQueue
+
+	// rxHook, when set, filters inbound NIC frames before local
+	// delivery; the net backend uses it to route domU-bound frames.
+	rxHook func(c *hw.CPU, data []byte) bool
+
+	Stats KernelStats
+}
+
+// KernelStats aggregates kernel-level counters.
+type KernelStats struct {
+	Forks       atomic.Uint64
+	Execs       atomic.Uint64
+	CtxSwitches atomic.Uint64
+	Syscalls    atomic.Uint64
+	PageFaults  atomic.Uint64
+	Ticks       atomic.Uint64
+}
+
+// voHolder exists because atomic.Pointer needs a concrete type.
+type voHolder struct{ o vo.Object }
+
+// VO returns the kernel's current virtualization object.
+func (k *Kernel) VO() vo.Object { return k.obj.Load().o }
+
+// SetVO swaps the virtualization object (Mercury's relocation step).
+func (k *Kernel) SetVO(o vo.Object) { k.obj.Store(&voHolder{o: o}) }
+
+// Boot builds a kernel on m and installs its control state through the
+// configured virtualization object.
+func Boot(m *hw.Machine, cfg Config) (*Kernel, error) {
+	if cfg.Frames == nil {
+		return nil, fmt.Errorf("guest: Boot requires a frame partition")
+	}
+	if cfg.HzTicks == 0 {
+		cfg.HzTicks = DefaultHzTicks
+	}
+	k := &Kernel{
+		Name:     cfg.Name,
+		M:        m,
+		Frames:   cfg.Frames,
+		Dom:      cfg.Dom,
+		VMM:      cfg.VMM,
+		procs:    make(map[Pid]*Proc),
+		nextPid:  1,
+		cur:      make([]*Proc, len(m.CPUs)),
+		pageRefs: make(map[hw.PFN]int),
+		HzTicks:  cfg.HzTicks,
+	}
+	k.lk.savedIF = make([]bool, len(m.CPUs))
+	if cfg.VO == nil {
+		cfg.VO = vo.NewDirect(m)
+	}
+	k.SetVO(cfg.VO)
+	k.timers = newTimerWheel(k)
+	k.FS = NewFS(k)
+
+	// Build descriptor tables. The kernel's own GDT carries the kernel
+	// descriptors at the privilege level the current mode dictates.
+	dpl := uint8(hw.PL0)
+	if cfg.VO.Virtualized() {
+		dpl = hw.PL1
+	}
+	k.GDT = hw.NewGDT(cfg.Name, dpl)
+	k.IDT = hw.NewIDT(cfg.Name)
+	k.installTraps()
+
+	c := m.BootCPU()
+	if !cfg.VO.Virtualized() {
+		// Native boot: own the hardware tables, and bring up the
+		// application processors with the same control state.
+		c.Lgdt(k.GDT)
+		for _, ap := range m.CPUs[1:] {
+			ap.Lgdt(k.GDT)
+			ap.Lidt(k.IDT)
+			ap.IF = true
+		}
+	}
+	k.VO().LoadInterruptTable(c, k.IDT)
+	// Bind the device interrupt lines to the boot CPU. Which software
+	// receives the vectors is decided by whichever IDT is installed —
+	// the kernel's in native mode, the VMM's (which forwards to the
+	// driver domain) in virtual mode.
+	m.IOAPIC.Route(hw.IRQLineDisk, c.ID, hw.VecDisk)
+	m.IOAPIC.Route(hw.IRQLineNIC, c.ID, hw.VecNIC)
+	if k.Dom != nil && !cfg.ServiceOnly {
+		k.VMM.HypBindVirqTimer(c, k.Dom, k.timerTick)
+	}
+	k.VO().SetInterrupts(c, true)
+	if !cfg.ServiceOnly {
+		k.armTick(c)
+	}
+	return k, nil
+}
+
+// KernelPL returns the privilege level kernel code currently runs at.
+func (k *Kernel) KernelPL() uint8 {
+	if k.VO().Virtualized() {
+		return hw.PL1
+	}
+	return hw.PL0
+}
+
+// installTraps populates the kernel IDT.
+func (k *Kernel) installTraps() {
+	k.IDT.Set(hw.VecPageFault, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: k.pageFault})
+	k.IDT.Set(hw.VecTimer, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) { k.timerTick(c) }})
+	k.IDT.Set(hw.VecDisk, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) {
+			c.Charge(k.M.Costs.MemRead) // completion bookkeeping
+		}})
+	k.IDT.Set(hw.VecNIC, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) { k.nicISR(c) }})
+	k.IDT.Set(hw.VecReschedIPI, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) {
+			k.needResched.Store(true)
+		}})
+}
+
+// armTick programs the next periodic timer interrupt.
+func (k *Kernel) armTick(c *hw.CPU) {
+	period := k.M.Hz / k.HzTicks
+	k.VO().ArmTimer(c, c.Now()+period)
+}
+
+// timerTick is the 100 Hz tick: run due kernel timers, re-arm, and ask
+// for a reschedule.
+func (k *Kernel) timerTick(c *hw.CPU) {
+	k.Stats.Ticks.Add(1)
+	c.Charge(k.M.Costs.MemRead * 8) // jiffies, process accounting
+	k.timers.run(c)
+	k.needResched.Store(true)
+	k.armTick(c)
+}
+
+// --- kernel lock (charged) ---
+
+type kernelLock struct {
+	mu      sync.Mutex
+	savedIF []bool // per-CPU interrupt flag saved across the section
+}
+
+// lockCharged spins for the kernel lock while keeping the CPU's clock
+// advancing — essential under the cross-CPU lockstep: a waiter whose
+// clock froze (a host-level blocking Lock) would deadlock against a
+// holder throttling on that same clock. Returns whether the acquisition
+// was contended.
+func (k *Kernel) lockCharged(c *hw.CPU) bool {
+	if k.lk.mu.TryLock() {
+		return false
+	}
+	for !k.lk.mu.TryLock() {
+		c.Charge(60) // spin-wait burns cycles, like a real spinlock
+		runtime.Gosched()
+	}
+	return true
+}
+
+// acquire is spin_lock_irqsave: the critical section runs with
+// interrupts disabled so a tick or IPI can never land while the lock is
+// held on this CPU (which would self-deadlock an ISR that also needs
+// it). Contended acquisitions cost extra, which is where the SMP rows
+// of Table 2 get their latency.
+func (k *Kernel) acquire(c *hw.CPU) {
+	contended := k.lockCharged(c)
+	k.lk.savedIF[c.ID] = c.IF
+	c.IF = false
+	cost := k.M.Costs.LockAcquire
+	if contended {
+		cost += k.M.Costs.LockContended
+	}
+	c.Charge(cost)
+}
+
+// release is spin_unlock_irqrestore.
+func (k *Kernel) release(c *hw.CPU) {
+	saved := k.lk.savedIF[c.ID]
+	k.lk.mu.Unlock()
+	c.IF = saved
+}
+
+// --- page reference counting (COW sharing) ---
+
+// refPage increments the sharer count of pfn (1 on first use).
+func (k *Kernel) refPage(pfn hw.PFN) {
+	k.pagesMu.Lock()
+	k.pageRefs[pfn]++
+	k.pagesMu.Unlock()
+}
+
+// unrefPage decrements the count and frees the frame on last use.
+func (k *Kernel) unrefPage(pfn hw.PFN) {
+	k.pagesMu.Lock()
+	n := k.pageRefs[pfn] - 1
+	if n < 0 {
+		k.pagesMu.Unlock()
+		panic(fmt.Sprintf("guest: unref of unreferenced frame %d", pfn))
+	}
+	if n == 0 {
+		delete(k.pageRefs, pfn)
+		k.pagesMu.Unlock()
+		k.Frames.Free(pfn)
+		return
+	}
+	k.pageRefs[pfn] = n
+	k.pagesMu.Unlock()
+}
+
+// ReleasePage drops one reference on a frame (exported for cache
+// eviction by harness code; pairs with FS.DropCache).
+func (k *Kernel) ReleasePage(pfn hw.PFN) { k.unrefPage(pfn) }
+
+// pageRefCount reports the sharer count (for COW decisions and tests).
+func (k *Kernel) pageRefCount(pfn hw.PFN) int {
+	k.pagesMu.Lock()
+	defer k.pagesMu.Unlock()
+	return k.pageRefs[pfn]
+}
+
+// allocFrame takes a frame from the kernel's partition and charges the
+// zeroing cost when zero is set.
+func (k *Kernel) allocFrame(c *hw.CPU, zero bool) hw.PFN {
+	pfn := k.Frames.Alloc()
+	if pfn == hw.NoPFN {
+		panic("guest: out of physical memory")
+	}
+	if zero {
+		k.M.Mem.ZeroFrame(pfn)
+		c.Charge(k.M.Costs.PageZero)
+	}
+	return pfn
+}
+
+// directWriter returns the raw writer used while building not-yet-live
+// page-table trees (fresh trees are not validated until registered).
+func (k *Kernel) directWriter() pgtable.WriteFn {
+	return pgtable.DirectWriter(k.M.Mem)
+}
+
+// voWriter returns a writer routing stores through the current
+// virtualization object (for live trees).
+func (k *Kernel) voWriter(c *hw.CPU) pgtable.WriteFn {
+	return func(table hw.PFN, idx int, e hw.PTE) {
+		k.VO().WritePTE(c, table, idx, e)
+	}
+}
+
+// Shutdown stops scheduler loops once current work drains.
+func (k *Kernel) Shutdown() { k.stopping.Store(true) }
+
+// validateResumeFrame checks a popped saved frame against the live GDT,
+// as the hardware iret microcode would: stale kernel selectors raise #GP.
+func (k *Kernel) validateResumeFrame(c *hw.CPU, f *hw.TrapFrame) {
+	g := c.GDTR
+	if g == nil {
+		return
+	}
+	c.Charge(k.M.Costs.SegReload)
+	d := g.Entries[f.CS.Index()]
+	if !d.Present || (f.CS.Index() == hw.GDTKernelCode && f.CS.RPL() != d.DPL) {
+		c.RaiseGP(fmt.Sprintf("resume: cached selector %v but kernel DPL is %d",
+			f.CS, d.DPL))
+	}
+}
+
+// LiveRoots returns the page-directory root of every live address space
+// — what Mercury's recompute pass must (re)validate at attach time.
+func (k *Kernel) LiveRoots(c *hw.CPU) []hw.PFN {
+	k.lockCharged(c)
+	defer k.releaseRaw()
+	seen := make(map[hw.PFN]bool)
+	var roots []hw.PFN
+	for _, p := range k.procs {
+		if p.AS != nil && !seen[p.AS.PT.Root] {
+			seen[p.AS.PT.Root] = true
+			roots = append(roots, p.AS.PT.Root)
+		}
+	}
+	return roots
+}
+
+// SleepingProcs returns every process whose kernel stack holds cached
+// interrupt frames — the set Mercury's selector-fixup stub walks.
+func (k *Kernel) SleepingProcs(c *hw.CPU) []*Proc {
+	k.lockCharged(c)
+	defer k.releaseRaw()
+	var out []*Proc
+	for _, p := range k.procs {
+		if len(p.SavedFrames) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AddTimer registers a kernel timer (Mercury's deferred-switch retry
+// uses it).
+func (k *Kernel) AddTimer(c *hw.CPU, deadline hw.Cycles, fn func(*hw.CPU)) {
+	k.timers.add(c, deadline, fn)
+}
+
+// TimerUpcall returns the virtual-timer entry point for VIRQ binding.
+func (k *Kernel) TimerUpcall() func(c *hw.CPU) { return k.timerTick }
+
+// RearmTick reprograms the periodic tick through the current VO (used
+// right after a mode switch rebinds the timer path).
+func (k *Kernel) RearmTick(c *hw.CPU) { k.armTick(c) }
+
+// NumLive returns the number of live (non-zombie) processes.
+func (k *Kernel) NumLive() int64 { return k.nlive.Load() }
+
+// TrapGates exports the kernel's trap table as a VMM registration list
+// (Mercury's attach path re-registers the handlers behind the VMM).
+func (k *Kernel) TrapGates() []xen.TrapEntry {
+	entries := make([]xen.TrapEntry, 0, 16)
+	for v := 0; v < hw.NumVectors; v++ {
+		g := k.IDT.Get(v)
+		if g.Present {
+			entries = append(entries, xen.TrapEntry{Vector: v, Handler: g.Handler})
+		}
+	}
+	return entries
+}
+
+// Printk writes a line to the kernel console. This is a sensitive I/O
+// operation (§3.2.4): in native mode the bytes go straight out the
+// serial port at PL0; in virtual mode port output would fault, so the
+// kernel uses the VMM's console service instead. Mercury's mode switch
+// relocates this path implicitly with the virtualization object.
+func (k *Kernel) Printk(c *hw.CPU, msg string) {
+	if vobj, ok := k.VO().(*vo.Virtual); ok {
+		vobj.V.HypConsoleIO(c, vobj.D, msg)
+		return
+	}
+	for i := 0; i < len(msg); i++ {
+		k.M.Serial.WritePort(c, msg[i])
+	}
+	k.M.Serial.WritePort(c, '\n')
+}
+
+// Printk from process context.
+func (p *Proc) Printk(msg string) {
+	p.Syscall(func(c *hw.CPU) { p.K.Printk(c, msg) })
+}

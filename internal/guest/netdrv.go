@@ -1,0 +1,263 @@
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// Frame is one network frame in the simulation's trivial link format:
+// a three-byte header (destination id, source id, protocol) followed by
+// the payload.
+type Frame struct {
+	Dst, Src, Proto byte
+	Payload         int    // payload length
+	Data            []byte // payload bytes (may be shorter than Payload;
+	// the wire carries Payload bytes regardless)
+}
+
+// Frame protocols.
+const (
+	ProtoEcho  byte = 1 // ping request; reflectors answer with ProtoEchoR
+	ProtoEchoR byte = 2
+	ProtoData  byte = 3 // iperf-style stream data
+	ProtoAck   byte = 4
+	ProtoMigr  byte = 5 // live-migration transport
+)
+
+// frameHeader is the wire header size.
+const frameHeader = 3
+
+// Marshal serializes the frame for the wire.
+func (f Frame) Marshal() []byte {
+	out := make([]byte, frameHeader+f.Payload)
+	out[0], out[1], out[2] = f.Dst, f.Src, f.Proto
+	copy(out[frameHeader:], f.Data)
+	return out
+}
+
+// ParseFrame decodes a wire packet.
+func ParseFrame(b []byte) (Frame, error) {
+	if len(b) < frameHeader {
+		return Frame{}, fmt.Errorf("guest: short frame (%d bytes)", len(b))
+	}
+	return Frame{
+		Dst: b[0], Src: b[1], Proto: b[2],
+		Payload: len(b) - frameHeader,
+		Data:    b[frameHeader:],
+	}, nil
+}
+
+// NetDriver is the kernel's network attachment point — the other
+// virtualization-sensitive I/O surface (§3.2.4).
+type NetDriver interface {
+	Name() string
+	Transmit(c *hw.CPU, fr Frame)
+	// Pump makes receive progress when the kernel is waiting for a
+	// frame: the native driver blocks on the NIC; the frontend asks the
+	// driver domain to service the hardware. Returns false if no
+	// progress is possible.
+	Pump(c *hw.CPU) bool
+}
+
+// NativeNet drives the machine's NIC directly.
+type NativeNet struct {
+	K   *Kernel
+	NIC *hw.NIC
+}
+
+// Name identifies the driver.
+func (d *NativeNet) Name() string { return "native-net" }
+
+// virtIRQ charges the physical-interrupt virtualization cost when the
+// driver domain runs on a VMM: the device IRQ enters the hypervisor,
+// becomes an event upcall, and the EOI needs a hypercall. On bare
+// hardware this path is just the architectural IRQ cost (already charged
+// at delivery).
+func (d *NativeNet) virtIRQ(c *hw.CPU) {
+	if d.K.VO().Virtualized() {
+		c.Charge(d.K.M.Costs.PhysIRQVirt)
+	}
+}
+
+// Transmit sends one frame. Each transmitted packet completes with a
+// tx-done interrupt (the r8169 does not coalesce).
+func (d *NativeNet) Transmit(c *hw.CPU, fr Frame) {
+	c.Charge(d.K.M.Costs.NetStackTx)
+	d.NIC.Transmit(c, hw.Packet{Data: fr.Marshal()})
+	d.virtIRQ(c)
+}
+
+// Pump blocks on the NIC for the next packet and routes it. If the
+// kernel has to wait (idle until the rx interrupt) and runs on a VMM,
+// the VMM scheduler's wake-up latency applies: the vcpu blocked and the
+// event must dispatch it again.
+func (d *NativeNet) Pump(c *hw.CPU) bool {
+	pkt, ok := d.NIC.Receive(c, true)
+	if !ok {
+		return false
+	}
+	// The packet has hit the wire; everything from here is processing
+	// delay on top of its arrival time. On a VMM the blocked vcpu must
+	// first be re-dispatched by the hypervisor scheduler.
+	if d.K.VO().Virtualized() {
+		c.Charge(d.K.M.Costs.DomSchedLatency)
+	}
+	d.virtIRQ(c)
+	d.K.routeInbound(c, pkt.Data)
+	return true
+}
+
+// TransmitRaw sends pre-framed wire bytes — the path the driver
+// domain's net backend uses on behalf of a frontend.
+func (d *NativeNet) TransmitRaw(c *hw.CPU, data []byte) {
+	c.Charge(d.K.M.Costs.NetStackTx)
+	d.NIC.Transmit(c, hw.Packet{Data: data})
+}
+
+// RawDevice adapts the native driver to the backend's PacketDevice.
+func (d *NativeNet) RawDevice() xen.PacketDevice { return rawNet{d} }
+
+type rawNet struct{ d *NativeNet }
+
+func (r rawNet) Transmit(c *hw.CPU, data []byte) { r.d.TransmitRaw(c, data) }
+
+// drain routes every packet deliverable right now (interrupt service).
+func (d *NativeNet) drain(c *hw.CPU) {
+	for {
+		pkt, ok := d.NIC.Receive(c, false)
+		if !ok {
+			return
+		}
+		d.virtIRQ(c)
+		d.K.routeInbound(c, pkt.Data)
+	}
+}
+
+// FrontendNet is netfront: transmits via grant+ring+event to the driver
+// domain, receives into pre-posted granted buffers.
+type FrontendNet struct {
+	K       *Kernel
+	V       *xen.VMM
+	D       *xen.Domain
+	Backend xen.DomID
+	TxRing  *xen.Ring[xen.NetTxRequest, xen.NetTxResponse]
+	RxRing  *xen.Ring[xen.NetRxBuffer, xen.NetRxDone]
+	TxKick  xen.Port
+	// PumpBackend asks the driver domain to service the physical NIC
+	// (stands in for the hardware interrupt that would schedule it).
+	PumpBackend func(c *hw.CPU) bool
+
+	nextID  uint64
+	rxPost  map[uint64]rxPosted
+	rxDepth int
+}
+
+type rxPosted struct {
+	pfn   hw.PFN
+	grant xen.GrantRef
+}
+
+// Name identifies the driver.
+func (d *FrontendNet) Name() string { return "netfront" }
+
+// defaultRxDepth is how many receive buffers stay posted.
+const defaultRxDepth = 16
+
+// ReplenishRx posts receive buffers until the configured depth is met.
+func (d *FrontendNet) ReplenishRx(c *hw.CPU) {
+	if d.rxPost == nil {
+		d.rxPost = make(map[uint64]rxPosted)
+	}
+	depth := d.rxDepth
+	if depth == 0 {
+		depth = defaultRxDepth
+	}
+	for len(d.rxPost) < depth {
+		pfn := d.K.allocFrame(c, false)
+		ref := d.D.GrantAccess(c, d.Backend, pfn, false)
+		id := d.nextID
+		d.nextID++
+		if !d.TxRingSafePostRx(c, xen.NetRxBuffer{ID: id, Grant: ref, Front: d.D.ID}) {
+			// Ring full; revoke and stop.
+			_ = d.D.GrantEnd(c, ref)
+			d.K.Frames.Free(pfn)
+			return
+		}
+		d.rxPost[id] = rxPosted{pfn: pfn, grant: ref}
+	}
+}
+
+// TxRingSafePostRx posts one rx buffer (separated for clarity).
+func (d *FrontendNet) TxRingSafePostRx(c *hw.CPU, b xen.NetRxBuffer) bool {
+	return d.RxRing.PutRequest(c, b)
+}
+
+// Transmit copies the frame into a bounce frame, grants it, and kicks
+// the backend.
+func (d *FrontendNet) Transmit(c *hw.CPU, fr Frame) {
+	c.Charge(d.K.M.Costs.NetStackTx)
+	data := fr.Marshal()
+	pfn := d.K.allocFrame(c, false)
+	c.Charge(d.K.M.Costs.PageCopy)
+	copy(d.K.M.Mem.FrameBytes(pfn), data)
+	ref := d.D.GrantAccess(c, d.Backend, pfn, true)
+	id := d.nextID
+	d.nextID++
+	if !d.TxRing.PutRequest(c, xen.NetTxRequest{ID: id, Grant: ref, Front: d.D.ID, Len: len(data)}) {
+		panic("guest: netfront tx ring overflow")
+	}
+	if err := d.V.EvtchnSend(c, d.D, d.TxKick); err != nil {
+		panic(fmt.Sprintf("guest: netfront kick: %v", err))
+	}
+	// Backend ran synchronously; reap the response.
+	if resp, ok := d.TxRing.GetResponse(c); ok {
+		if resp.Err != "" {
+			panic(fmt.Sprintf("guest: netfront tx: %s", resp.Err))
+		}
+	}
+	if err := d.D.GrantEnd(c, ref); err != nil {
+		panic(fmt.Sprintf("guest: netfront: %v", err))
+	}
+	d.K.Frames.Free(pfn)
+}
+
+// HandleRxEvent drains completed receive buffers into the kernel's
+// inbound queue; bound to the frontend's event-channel port.
+func (d *FrontendNet) HandleRxEvent(c *hw.CPU) {
+	for {
+		done, ok := d.RxRing.GetResponse(c)
+		if !ok {
+			return
+		}
+		post, known := d.rxPost[done.ID]
+		if !known {
+			continue
+		}
+		delete(d.rxPost, done.ID)
+		if done.Err == "" {
+			data := make([]byte, done.Len)
+			c.Charge(d.K.M.Costs.PageCopy)
+			copy(data, d.K.M.Mem.FrameBytes(post.pfn)[:done.Len])
+			d.K.routeInbound(c, data)
+		}
+		if err := d.D.GrantEnd(c, post.grant); err == nil {
+			d.K.Frames.Free(post.pfn)
+		}
+		d.ReplenishRx(c)
+	}
+}
+
+// Pump asks the driver domain to service the NIC, then drains whatever
+// arrived for us.
+func (d *FrontendNet) Pump(c *hw.CPU) bool {
+	if d.PumpBackend == nil {
+		return false
+	}
+	if !d.PumpBackend(c) {
+		return false
+	}
+	d.HandleRxEvent(c)
+	return true
+}

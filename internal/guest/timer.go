@@ -1,0 +1,61 @@
+package guest
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/hw"
+)
+
+// timerWheel holds pending kernel timers. The 100 Hz tick drains due
+// entries, so timer resolution is one tick — which is also the retry
+// interval Mercury's deferred mode switch uses (§5.1.1: "e.g., every
+// 10 ms").
+type timerWheel struct {
+	k  *Kernel
+	mu sync.Mutex
+	// items sorted by deadline.
+	items []timerItem
+}
+
+type timerItem struct {
+	deadline hw.Cycles
+	fn       func(c *hw.CPU)
+}
+
+func newTimerWheel(k *Kernel) *timerWheel { return &timerWheel{k: k} }
+
+// add registers fn to run at or after deadline.
+func (w *timerWheel) add(c *hw.CPU, deadline hw.Cycles, fn func(c *hw.CPU)) {
+	c.Charge(w.k.M.Costs.MemWrite * 4)
+	w.mu.Lock()
+	w.items = append(w.items, timerItem{deadline, fn})
+	sort.SliceStable(w.items, func(i, j int) bool {
+		return w.items[i].deadline < w.items[j].deadline
+	})
+	w.mu.Unlock()
+}
+
+// run executes every timer due at the current time on c.
+func (w *timerWheel) run(c *hw.CPU) {
+	now := c.Now()
+	for {
+		w.mu.Lock()
+		if len(w.items) == 0 || w.items[0].deadline > now {
+			w.mu.Unlock()
+			return
+		}
+		it := w.items[0]
+		w.items = w.items[1:]
+		w.mu.Unlock()
+		c.Charge(w.k.M.Costs.MemRead * 4)
+		it.fn(c)
+	}
+}
+
+// pending reports the number of queued timers.
+func (w *timerWheel) pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.items)
+}

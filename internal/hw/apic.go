@@ -1,0 +1,150 @@
+package hw
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LAPIC is a per-CPU local interrupt controller. Other CPUs (and devices,
+// via the Machine's IO-APIC routing) post vectors into it; the owning CPU
+// drains pending vectors at instruction boundaries when interrupts are
+// enabled. Mercury's SMP mode-switch protocol (§5.4) is built on the IPI
+// path: the control processor posts VecModeSwitchAP to every other core
+// and the cores rendezvous on shared counters.
+type LAPIC struct {
+	mu      sync.Mutex
+	pending []int // FIFO of pending vectors
+
+	// One-shot local timer: fires vector timerVec when the owning CPU's
+	// clock reaches deadline.
+	timerArmed    bool
+	timerDeadline Cycles
+	timerVec      int
+
+	IPIsReceived atomic.Uint64
+}
+
+// Post queues vector for delivery to the owning CPU. Safe to call from
+// any goroutine.
+func (l *LAPIC) Post(vector int) {
+	l.mu.Lock()
+	l.pending = append(l.pending, vector)
+	l.mu.Unlock()
+}
+
+// take removes and returns the next pending vector.
+func (l *LAPIC) take() (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return 0, false
+	}
+	v := l.pending[0]
+	l.pending = l.pending[1:]
+	return v, true
+}
+
+// HasPending reports whether any vector is waiting.
+func (l *LAPIC) HasPending() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending) > 0
+}
+
+// ArmTimer programs the one-shot local timer.
+func (l *LAPIC) ArmTimer(deadline Cycles, vector int) {
+	l.mu.Lock()
+	l.timerArmed = true
+	l.timerDeadline = deadline
+	l.timerVec = vector
+	l.mu.Unlock()
+}
+
+// DisarmTimer cancels the local timer.
+func (l *LAPIC) DisarmTimer() {
+	l.mu.Lock()
+	l.timerArmed = false
+	l.mu.Unlock()
+}
+
+// timerDue pops the timer vector if the deadline has passed.
+func (l *LAPIC) timerDue(now Cycles) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.timerArmed && now >= l.timerDeadline {
+		l.timerArmed = false
+		return l.timerVec, true
+	}
+	return 0, false
+}
+
+// NextTimerDeadline returns the armed deadline, if any. The idle loop uses
+// it to fast-forward simulated time instead of spinning.
+func (l *LAPIC) NextTimerDeadline() (Cycles, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.timerDeadline, l.timerArmed
+}
+
+// IOAPIC routes device interrupt lines to CPUs. Devices raise a line; the
+// IOAPIC posts the configured vector to the configured CPU's LAPIC.
+type IOAPIC struct {
+	mu     sync.Mutex
+	routes map[int]ioRoute // line -> route
+	m      *Machine
+}
+
+type ioRoute struct {
+	cpu    int
+	vector int
+	masked bool
+}
+
+// NewIOAPIC builds the I/O interrupt controller for m.
+func NewIOAPIC(m *Machine) *IOAPIC {
+	return &IOAPIC{routes: make(map[int]ioRoute), m: m}
+}
+
+// Route binds a device line to (cpu, vector). Rebinding interrupt routes
+// is part of Mercury's state transfer: in native mode lines target the
+// guest's vectors directly, in virtual mode they target the VMM's.
+func (io *IOAPIC) Route(line, cpu, vector int) {
+	io.mu.Lock()
+	io.routes[line] = ioRoute{cpu: cpu, vector: vector}
+	io.mu.Unlock()
+}
+
+// Mask disables delivery for a line.
+func (io *IOAPIC) Mask(line int, masked bool) {
+	io.mu.Lock()
+	if r, ok := io.routes[line]; ok {
+		r.masked = masked
+		io.routes[line] = r
+	}
+	io.mu.Unlock()
+}
+
+// Raise signals a device interrupt line.
+func (io *IOAPIC) Raise(line int) {
+	io.mu.Lock()
+	r, ok := io.routes[line]
+	io.mu.Unlock()
+	if !ok || r.masked {
+		return
+	}
+	if r.cpu >= 0 && r.cpu < len(io.m.CPUs) {
+		io.m.CPUs[r.cpu].LAPIC.Post(r.vector)
+	}
+}
+
+// Routes returns a copy of the current routing table; Mercury's state
+// transfer reads it to rebind lines across a mode switch.
+func (io *IOAPIC) Routes() map[int][2]int {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	out := make(map[int][2]int, len(io.routes))
+	for line, r := range io.routes {
+		out[line] = [2]int{r.cpu, r.vector}
+	}
+	return out
+}

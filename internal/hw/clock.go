@@ -1,0 +1,67 @@
+// Package hw simulates the hardware platform Mercury runs on: CPUs with
+// x86-style privileged state (privilege levels, control registers,
+// descriptor tables), physical memory divided into 4 KB frames, a hardware
+// page-table walker with a TLB, local APICs with inter-processor
+// interrupts, and simple disk/NIC/timer devices.
+//
+// Every privileged or timed operation advances a per-CPU cycle clock
+// (the simulated TSC). All latencies reported by the benchmark harness are
+// read from this clock, mirroring how the paper reads RDTSC around mode
+// switches and benchmark loops. The cycle costs of primitive operations
+// live in CostModel and are calibrated once against the paper's native
+// Linux column; every other configuration's numbers emerge from the
+// mechanisms built on top (hypercalls, traps, ring hops, deprivileging).
+package hw
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Cycles counts simulated processor cycles.
+type Cycles = uint64
+
+// DefaultHz is the simulated core frequency: 3 GHz, matching the paper's
+// dual 3.0 GHz Xeon testbed (DELL SC 1420).
+const DefaultHz = 3_000_000_000
+
+// Clock is a per-CPU time-stamp counter. It is safe for concurrent reads;
+// only the owning CPU advances it.
+type Clock struct {
+	hz     uint64
+	cycles atomic.Uint64
+}
+
+// NewClock returns a clock ticking at hz cycles per second.
+func NewClock(hz uint64) *Clock {
+	if hz == 0 {
+		hz = DefaultHz
+	}
+	return &Clock{hz: hz}
+}
+
+// Advance moves the clock forward by n cycles and returns the new reading.
+func (c *Clock) Advance(n Cycles) Cycles {
+	return c.cycles.Add(n)
+}
+
+// Read returns the current cycle count (the simulated RDTSC).
+func (c *Clock) Read() Cycles { return c.cycles.Load() }
+
+// Hz returns the clock frequency.
+func (c *Clock) Hz() uint64 { return c.hz }
+
+// ToDuration converts a cycle count on this clock into wall time.
+func (c *Clock) ToDuration(n Cycles) time.Duration {
+	// n / hz seconds, computed without overflow for realistic n.
+	sec := n / c.hz
+	rem := n % c.hz
+	return time.Duration(sec)*time.Second +
+		time.Duration(rem*uint64(time.Second)/c.hz)
+}
+
+// Micros converts a cycle count into microseconds as a float, the unit the
+// paper's lmbench tables use.
+func (c *Clock) Micros(n Cycles) float64 {
+	return float64(n) / float64(c.hz) * 1e6
+}

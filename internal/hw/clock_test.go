@@ -1,0 +1,58 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvanceRead(t *testing.T) {
+	c := NewClock(DefaultHz)
+	if c.Read() != 0 {
+		t.Fatalf("fresh clock reads %d", c.Read())
+	}
+	c.Advance(100)
+	c.Advance(23)
+	if got := c.Read(); got != 123 {
+		t.Fatalf("Read = %d, want 123", got)
+	}
+}
+
+func TestClockDefaultHz(t *testing.T) {
+	c := NewClock(0)
+	if c.Hz() != DefaultHz {
+		t.Fatalf("Hz = %d, want %d", c.Hz(), DefaultHz)
+	}
+}
+
+func TestClockToDuration(t *testing.T) {
+	c := NewClock(1_000_000) // 1 MHz: 1 cycle = 1 us
+	if d := c.ToDuration(1500); d != 1500*time.Microsecond {
+		t.Fatalf("ToDuration = %v", d)
+	}
+}
+
+func TestClockMicros(t *testing.T) {
+	c := NewClock(3_000_000_000)
+	if us := c.Micros(3000); us != 1.0 {
+		t.Fatalf("Micros(3000) = %v, want 1", us)
+	}
+	if us := c.Micros(660_000); us < 219.9 || us > 220.1 {
+		t.Fatalf("Micros(660k) = %v, want ~220", us)
+	}
+}
+
+// Property: advancing by a then b always equals advancing by a+b.
+func TestClockAdvanceAdditive(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c1 := NewClock(DefaultHz)
+		c1.Advance(Cycles(a))
+		c1.Advance(Cycles(b))
+		c2 := NewClock(DefaultHz)
+		c2.Advance(Cycles(a) + Cycles(b))
+		return c1.Read() == c2.Read()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,490 @@
+package hw
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// CPU is one simulated processor. All guest-kernel, VMM and Mercury code
+// executes "on" a CPU by charging cycles to its clock and manipulating its
+// privileged state. A CPU is driven by exactly one goroutine at a time;
+// its LAPIC may be posted to from any goroutine.
+type CPU struct {
+	ID int
+	M  *Machine
+
+	Clk   *Clock
+	TLB   *TLB
+	LAPIC *LAPIC
+
+	// Privileged state (§3.2.1). CPL is the current privilege level;
+	// CR3 the page-directory frame; IF the hardware interrupt flag.
+	CPL uint8
+	CR3 PFN
+	IF  bool
+
+	// Current code/stack selectors; saved into trap frames on delivery.
+	CS, SS Selector
+
+	// Installed descriptor tables ("register" state reloaded by Mercury's
+	// state-reloading functions, §5.1.3).
+	IDTR *IDT
+	GDTR *GDT
+
+	// intrDepth > 0 while executing an interrupt/exception handler;
+	// nested delivery is suppressed.
+	intrDepth int
+
+	// halted is set while the CPU sits in its idle loop; cross-CPU code
+	// may read it.
+	halted atomic.Bool
+
+	// driven marks that some goroutine is executing on this CPU
+	// (scheduler loop or temporary idler); exactly one driver at a time.
+	driven atomic.Bool
+
+	// sinceThrottle accumulates charged cycles between lockstep checks.
+	sinceThrottle Cycles
+
+	// Statistics.
+	Stats CPUStats
+}
+
+// CPUStats counts notable events on one CPU.
+type CPUStats struct {
+	Interrupts uint64
+	Faults     uint64
+	GPFaults   uint64
+	CR3Writes  uint64
+	IdleCycles uint64
+}
+
+// Lockstep parameters: a CPU may run at most throttleQuantum cycles
+// ahead of the slowest other driven CPU, checked every
+// throttleCheckEvery charged cycles. This keeps simulated time causal
+// across cores regardless of host goroutine scheduling.
+const (
+	throttleCheckEvery Cycles = 16 << 10
+	throttleQuantum    Cycles = 150_000 // 50 us at 3 GHz
+)
+
+// Charge advances the CPU's clock by n cycles and gives pending
+// interrupts a chance to be delivered. It is the single point through
+// which all simulated work flows.
+func (c *CPU) Charge(n Cycles) {
+	c.Clk.Advance(n)
+	if c.sinceThrottle += n; c.sinceThrottle >= throttleCheckEvery {
+		c.sinceThrottle = 0
+		c.throttle()
+	}
+	c.PollInterrupts()
+}
+
+// throttle blocks (host-side only) while this CPU is too far ahead of
+// another driven CPU's clock.
+func (c *CPU) throttle() {
+	if len(c.M.CPUs) == 1 {
+		return
+	}
+	for {
+		own := c.Clk.Read()
+		behind := own
+		any := false
+		for _, o := range c.M.CPUs {
+			if o == c || !o.driven.Load() {
+				continue
+			}
+			any = true
+			if n := o.Clk.Read(); n < behind {
+				behind = n
+			}
+		}
+		if !any || own-behind <= throttleQuantum {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Now returns the CPU's current cycle count (RDTSC).
+func (c *CPU) Now() Cycles { return c.Clk.Read() }
+
+// SetMode changes the current privilege level, reloading CS/SS with the
+// matching selectors (user at PL3, kernel otherwise). It returns the
+// previous level so callers can restore it. All simulated software uses
+// this instead of assigning CPL directly, so interrupt frames always
+// capture coherent selectors.
+func (c *CPU) SetMode(cpl uint8) (prev uint8) {
+	prev = c.CPL
+	c.CPL = cpl
+	if c.GDTR == nil {
+		return prev
+	}
+	switch {
+	case cpl == PL3:
+		c.CS = MakeSelector(GDTUserCode, PL3)
+		c.SS = MakeSelector(GDTUserData, PL3)
+	case c.GDTR.Entries[GDTKernelCode].DPL == cpl:
+		c.CS = MakeSelector(GDTKernelCode, cpl)
+		c.SS = MakeSelector(GDTKernelData, cpl)
+	case c.GDTR.Entries[GDTVMMCode].Present && c.GDTR.Entries[GDTVMMCode].DPL == cpl:
+		// The hypervisor's own segments: on a table whose kernel
+		// descriptors are deprivileged, PL0 code is the VMM.
+		c.CS = MakeSelector(GDTVMMCode, cpl)
+		c.SS = MakeSelector(GDTVMMData, cpl)
+	default:
+		c.CS = MakeSelector(GDTKernelCode, cpl)
+		c.SS = MakeSelector(GDTKernelData, cpl)
+	}
+	return prev
+}
+
+// Work charges n cycles of plain computation (no privileged semantics).
+func (c *CPU) Work(n Cycles) { c.Charge(n) }
+
+// PollInterrupts delivers one pending interrupt if the CPU is accepting
+// them. Called from Charge and from idle loops.
+func (c *CPU) PollInterrupts() {
+	if !c.IF || c.intrDepth > 0 {
+		return
+	}
+	if v, ok := c.LAPIC.timerDue(c.Clk.Read()); ok {
+		c.deliver(v, &TrapFrame{Vector: v})
+		return
+	}
+	if v, ok := c.LAPIC.take(); ok {
+		c.deliver(v, &TrapFrame{Vector: v})
+	}
+}
+
+// deliver pushes a trap frame and runs the gate handler for vector.
+func (c *CPU) deliver(vector int, f *TrapFrame) {
+	if c.IDTR == nil {
+		panic(fmt.Sprintf("hw: cpu%d interrupt %d with no IDT", c.ID, vector))
+	}
+	g := c.IDTR.Get(vector)
+	if !g.Present {
+		panic(fmt.Sprintf("hw: cpu%d interrupt %d: gate not present in %s",
+			c.ID, vector, c.IDTR.Name))
+	}
+	cost := c.M.Costs.IRQDeliver
+	if vector < 32 {
+		cost = c.M.Costs.FaultEntry
+	}
+	c.Clk.Advance(cost)
+	c.Stats.Interrupts++
+
+	// Hardware pushes the interrupted context.
+	f.Vector = vector
+	f.CS = c.CS
+	f.SS = c.SS
+	f.IF = c.IF
+
+	prevCPL, prevCS, prevSS := c.CPL, c.CS, c.SS
+	c.intrDepth++
+	c.IF = false // interrupt gates clear IF
+	c.SetMode(g.Target)
+
+	g.Handler(c, f)
+
+	// iret: pop the (possibly patched) frame. Mercury's mode switch
+	// rewrites f.CS/f.SS RPL bits so the resumed context lands at the
+	// right privilege level (§5.1.3).
+	c.intrDepth--
+	c.Clk.Advance(c.M.Costs.IRQEOI)
+	c.checkReturnFrame(f)
+	c.CPL = f.CS.RPL()
+	c.CS = f.CS
+	c.SS = f.SS
+	c.IF = f.IF
+	_ = prevCPL
+	_ = prevCS
+	_ = prevSS
+}
+
+// checkReturnFrame validates that the selectors in a frame about to be
+// popped are consistent with the live GDT. Popping a stale selector whose
+// RPL does not match the descriptor's DPL raises #GP — the exact hazard
+// Mercury's selector-fixup stub exists to prevent (§5.1.2).
+func (c *CPU) checkReturnFrame(f *TrapFrame) {
+	if c.GDTR == nil {
+		return
+	}
+	idx := f.CS.Index()
+	if idx >= len(c.GDTR.Entries) {
+		c.RaiseGP(fmt.Sprintf("iret: selector index %d beyond GDT", idx))
+		return
+	}
+	d := c.GDTR.Entries[idx]
+	if !d.Present {
+		c.RaiseGP("iret: code segment not present")
+		return
+	}
+	// Returning to a privilege level more privileged than the descriptor
+	// allows, or popping kernel selectors whose RPL no longer matches the
+	// kernel DPL, is a protection violation.
+	if idx == GDTKernelCode && f.CS.RPL() != d.DPL {
+		c.RaiseGP(fmt.Sprintf("iret: stale kernel selector %v, kernel DPL now %d",
+			f.CS, d.DPL))
+	}
+}
+
+// GPError describes a general protection fault with no registered handler.
+type GPError struct{ Reason string }
+
+func (e *GPError) Error() string { return "general protection fault: " + e.Reason }
+
+// RaiseGP raises #GP. If the installed IDT has a handler it is invoked;
+// otherwise the simulation panics with a GPError (a triple fault).
+func (c *CPU) RaiseGP(reason string) {
+	c.Stats.GPFaults++
+	if c.IDTR != nil && c.IDTR.Get(VecGP).Present {
+		f := &TrapFrame{Vector: VecGP}
+		c.deliverFault(VecGP, f)
+		return
+	}
+	panic(&GPError{Reason: reason})
+}
+
+// deliverFault delivers an exception regardless of IF (faults are not
+// maskable) but still honors nesting depth bookkeeping.
+func (c *CPU) deliverFault(vector int, f *TrapFrame) {
+	savedIF := c.IF
+	c.IF = true // allow deliver() to run; it will re-clear
+	saved := c.intrDepth
+	c.intrDepth = 0
+	c.deliver(vector, f)
+	c.intrDepth = saved
+	c.IF = savedIF
+}
+
+// --- privileged instructions (sensitive CPU operations, §5.3) ---
+
+// requirePL0 traps to #GP if the CPU is not at PL0. This is the
+// de-privileging enforcement: a virtualized kernel at PL1 executing a raw
+// privileged instruction lands in the VMM's #GP handler.
+func (c *CPU) requirePL0(what string) bool {
+	if c.CPL == PL0 {
+		return true
+	}
+	c.RaiseGP(what + " at CPL " + fmt.Sprint(c.CPL))
+	return false
+}
+
+// WriteCR3 installs a new page-directory base and flushes the TLB.
+func (c *CPU) WriteCR3(pfn PFN) {
+	c.Charge(c.M.Costs.PrivInsn)
+	if !c.requirePL0("mov cr3") {
+		return
+	}
+	c.CR3 = pfn
+	c.Stats.CR3Writes++
+	c.TLB.Flush()
+	c.Clk.Advance(c.M.Costs.TLBFlush)
+}
+
+// ReadCR3 returns the current page-directory base (readable at any PL in
+// this model; real x86 traps, but no measured path reads CR3 from PL>0).
+func (c *CPU) ReadCR3() PFN { return c.CR3 }
+
+// Lidt installs an interrupt descriptor table.
+func (c *CPU) Lidt(t *IDT) {
+	c.Charge(c.M.Costs.DescTableLoad)
+	if !c.requirePL0("lidt") {
+		return
+	}
+	c.IDTR = t
+}
+
+// Lgdt installs a global descriptor table and reloads segment selectors.
+func (c *CPU) Lgdt(g *GDT) {
+	c.Charge(c.M.Costs.DescTableLoad + c.M.Costs.SegReload)
+	if !c.requirePL0("lgdt") {
+		return
+	}
+	c.GDTR = g
+	c.CS = MakeSelector(GDTKernelCode, c.CPL)
+	c.SS = MakeSelector(GDTKernelData, c.CPL)
+}
+
+// Cli disables hardware interrupts.
+func (c *CPU) Cli() {
+	c.Charge(c.M.Costs.PrivInsn)
+	if !c.requirePL0("cli") {
+		return
+	}
+	c.IF = false
+}
+
+// Sti enables hardware interrupts.
+func (c *CPU) Sti() {
+	c.Charge(c.M.Costs.PrivInsn)
+	if !c.requirePL0("sti") {
+		return
+	}
+	c.IF = true
+}
+
+// Invlpg invalidates one TLB entry.
+func (c *CPU) Invlpg(va VirtAddr) {
+	c.Charge(c.M.Costs.PrivInsn)
+	if !c.requirePL0("invlpg") {
+		return
+	}
+	c.TLB.Invalidate(VPNOf(va))
+}
+
+// SendIPI posts vector to another CPU's LAPIC.
+func (c *CPU) SendIPI(target int, vector int) {
+	c.Charge(c.M.Costs.IPISend)
+	if !c.requirePL0("apic icr write") {
+		return
+	}
+	if target < 0 || target >= len(c.M.CPUs) || target == c.ID {
+		return
+	}
+	t := c.M.CPUs[target]
+	t.LAPIC.Post(vector)
+	t.LAPIC.IPIsReceived.Add(1)
+}
+
+// --- memory access through the MMU ---
+
+// AccessResult reports how a memory access resolved.
+type AccessResult struct {
+	PFN     PFN
+	Faults  int  // number of #PF deliveries it took
+	Skipped bool // the faulting instruction was skipped (signal abort)
+}
+
+const maxFaultRetries = 8
+
+// Translate resolves va for the given access type, delivering #PF through
+// the installed IDT until the mapping is usable. It charges TLB and walk
+// costs. The handler (guest kernel or VMM) is expected to repair the
+// mapping; if the fault does not resolve after several retries the
+// simulation panics, standing in for a kernel oops.
+func (c *CPU) Translate(va VirtAddr, write bool) AccessResult {
+	user := c.CPL == PL3
+	var res AccessResult
+	for try := 0; ; try++ {
+		vpn := VPNOf(va)
+		if pfn, w, u, ok := c.TLB.Lookup(vpn); ok {
+			if (!write || w) && (!user || u) {
+				c.Charge(c.M.Costs.TLBHit)
+				res.PFN = pfn
+				return res
+			}
+			// Permission upgrade needed: fall through to walk so the
+			// fault carries fresh PTE state.
+			c.TLB.Invalidate(vpn)
+		}
+		c.Clk.Advance(c.M.Costs.TLBMissWalk)
+		wr, ok := Walk(c.M.Mem, c.CR3, va)
+		if ok {
+			pte := wr.PTE
+			permOK := (!write || pte.Writable()) && (!user || pte.UserOK())
+			if permOK {
+				c.TLB.Insert(vpn, pte.Frame(), pte.Writable(), pte.UserOK(),
+					pte.Flags()&PTEGlobal != 0)
+				res.PFN = pte.Frame()
+				return res
+			}
+		}
+		if try >= maxFaultRetries {
+			panic(fmt.Sprintf("hw: cpu%d unresolved page fault at %#x (write=%v user=%v)",
+				c.ID, va, write, user))
+		}
+		res.Faults++
+		c.Stats.Faults++
+		f := &TrapFrame{Addr: va, Write: write, User: user}
+		c.deliverFault(VecPageFault, f)
+		c.Clk.Advance(c.M.Costs.FaultExit)
+		if f.Skip {
+			res.Skipped = true
+			return res
+		}
+	}
+}
+
+// ReadWord reads a 32-bit word at virtual address va.
+func (c *CPU) ReadWord(va VirtAddr) uint32 {
+	r := c.Translate(va, false)
+	if r.Skipped {
+		return 0
+	}
+	c.Charge(c.M.Costs.MemRead)
+	return c.M.Mem.ReadWord(r.PFN.Addr() + PhysAddr(va&PageMask&^3))
+}
+
+// WriteWord writes a 32-bit word at virtual address va.
+func (c *CPU) WriteWord(va VirtAddr, v uint32) {
+	r := c.Translate(va, true)
+	if r.Skipped {
+		return
+	}
+	c.Charge(c.M.Costs.MemWrite)
+	c.M.Mem.WriteWord(r.PFN.Addr()+PhysAddr(va&PageMask&^3), v)
+}
+
+// TouchPage simulates bringing one page of working set back after a
+// context switch or TLB flush: a translation plus cold cache lines.
+func (c *CPU) TouchPage(va VirtAddr) {
+	c.Translate(va, false)
+	c.Charge(c.M.Costs.TLBRefillPage)
+}
+
+// --- idle ---
+
+// IdleUntil spins at low simulated cost until cond returns true or an
+// interrupt/timer makes progress. It cooperates with other CPU goroutines
+// via the Go scheduler.
+func (c *CPU) IdleUntil(cond func() bool) {
+	c.halted.Store(true)
+	defer c.halted.Store(false)
+	for !cond() {
+		// The TSC is synchronized across cores: while halted, this
+		// core's clock keeps pace with whichever core is doing work.
+		if peak := c.M.MaxClock(); peak > c.Clk.Read() {
+			c.Stats.IdleCycles += peak - c.Clk.Read()
+			c.Clk.Advance(peak - c.Clk.Read())
+		}
+		// If the whole machine is idle and a local timer is armed, jump
+		// straight to the deadline: the hardware would sleep in hlt.
+		// With other cores busy, time is driven by their work instead.
+		if !c.LAPIC.HasPending() && c.othersHalted() {
+			if dl, ok := c.LAPIC.NextTimerDeadline(); ok && dl > c.Clk.Read() {
+				c.Stats.IdleCycles += dl - c.Clk.Read()
+				c.Clk.Advance(dl - c.Clk.Read())
+			}
+		}
+		c.PollInterrupts()
+		if cond() {
+			return
+		}
+		c.Stats.IdleCycles += 20
+		c.Clk.Advance(20)
+		runtime.Gosched()
+	}
+}
+
+// Halted reports whether the CPU is in its idle loop.
+func (c *CPU) Halted() bool { return c.halted.Load() }
+
+// othersHalted reports whether every other CPU is idle.
+func (c *CPU) othersHalted() bool {
+	for _, o := range c.M.CPUs {
+		if o != c && !o.halted.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// TryDrive claims the right to execute on this CPU. Scheduler loops and
+// temporary idlers take it so two goroutines never drive one CPU.
+func (c *CPU) TryDrive() bool { return c.driven.CompareAndSwap(false, true) }
+
+// ReleaseDrive gives the CPU up.
+func (c *CPU) ReleaseDrive() { c.driven.Store(false) }

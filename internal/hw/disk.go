@@ -1,0 +1,86 @@
+package hw
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockSize is the disk transfer unit (one page).
+const BlockSize = PageSize
+
+// DiskRequest describes one block transfer. Merged is the number of
+// logically distinct requests this transfer satisfies: the Xen backend
+// driver coalesces adjacent ring requests before issuing them, which is
+// what lets a domainU occasionally beat domain0 on throughput-oriented
+// writes (the dbench anomaly the paper observes in §7.3).
+type DiskRequest struct {
+	Block  uint64
+	Write  bool
+	Blocks int // contiguous blocks in this transfer
+	Merged int
+}
+
+// Disk is a simple block device. Transfers are synchronous: the issuing
+// CPU is charged the request and transfer cost, and the completion raises
+// the disk's interrupt line so the kernel's IRQ accounting stays honest.
+type Disk struct {
+	m    *Machine
+	line int
+
+	mu     sync.Mutex
+	blocks map[uint64][]byte
+
+	Stats DiskStats
+}
+
+// DiskStats counts device activity.
+type DiskStats struct {
+	Requests     uint64
+	BlocksIO     uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// NewDisk builds the machine's disk on the given IO-APIC line.
+func NewDisk(m *Machine, line int) *Disk {
+	return &Disk{m: m, line: line, blocks: make(map[uint64][]byte)}
+}
+
+// Submit performs one transfer on behalf of c, charging request overhead
+// once and per-KB cost for the payload, then raises the completion IRQ.
+// buf must be req.Blocks*BlockSize bytes.
+func (d *Disk) Submit(c *CPU, req DiskRequest, buf []byte) error {
+	if len(buf) != req.Blocks*BlockSize {
+		return fmt.Errorf("hw: disk buffer %d bytes for %d blocks", len(buf), req.Blocks)
+	}
+	c.Charge(d.m.Costs.DiskRequest)
+	c.Charge(Cycles(req.Blocks) * Cycles(BlockSize/1024) * d.m.Costs.DiskPerKB)
+	d.mu.Lock()
+	for i := 0; i < req.Blocks; i++ {
+		bn := req.Block + uint64(i)
+		part := buf[i*BlockSize : (i+1)*BlockSize]
+		if req.Write {
+			cp := make([]byte, BlockSize)
+			copy(cp, part)
+			d.blocks[bn] = cp
+			d.Stats.BytesWritten += BlockSize
+		} else {
+			if b, ok := d.blocks[bn]; ok {
+				copy(part, b)
+			} else {
+				for j := range part {
+					part[j] = 0
+				}
+			}
+			d.Stats.BytesRead += BlockSize
+		}
+	}
+	d.Stats.Requests++
+	d.Stats.BlocksIO += uint64(req.Blocks)
+	d.mu.Unlock()
+	d.m.IOAPIC.Raise(d.line)
+	return nil
+}
+
+// Line returns the disk's interrupt line.
+func (d *Disk) Line() int { return d.line }

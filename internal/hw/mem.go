@@ -1,0 +1,277 @@
+package hw
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Address-space geometry, mirroring the 32-bit x86 layout the paper's
+// prototype uses (§3.2.2): a single 4 GB virtual address space with the
+// kernel in the top 1 GB and the VMM reserved in the top 64 MB. Mercury
+// keeps the VMM hole reserved even in native mode so the layout never has
+// to change across a mode switch.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4096
+	PageMask  = PageSize - 1
+
+	// KernelBase is where the guest kernel's address space begins.
+	KernelBase VirtAddr = 0xC000_0000
+	// VMMBase is the start of the 64 MB region reserved for the
+	// pre-cached VMM, at the very top of every address space.
+	VMMBase VirtAddr = 0xFC00_0000
+	// VMMSize is the size of the reserved VMM region.
+	VMMSize = 64 << 20
+)
+
+// PhysAddr is a physical byte address.
+type PhysAddr uint32
+
+// VirtAddr is a virtual byte address.
+type VirtAddr uint32
+
+// PFN is a physical page frame number.
+type PFN uint32
+
+// NoPFN marks an invalid/absent frame.
+const NoPFN = PFN(0xFFFF_FFFF)
+
+// Addr returns the physical address of the first byte of the frame.
+func (p PFN) Addr() PhysAddr { return PhysAddr(p) << PageShift }
+
+// PFNOf returns the frame containing the physical address.
+func PFNOf(a PhysAddr) PFN { return PFN(a >> PageShift) }
+
+// VPN is a virtual page number.
+type VPN uint32
+
+// VPNOf returns the virtual page containing the virtual address.
+func VPNOf(a VirtAddr) VPN { return VPN(a >> PageShift) }
+
+// Addr returns the virtual address of the first byte of the page.
+func (v VPN) Addr() VirtAddr { return VirtAddr(v) << PageShift }
+
+// PhysMem is the machine's physical memory, divided into 4 KB frames.
+// Frame contents are allocated lazily so large simulated memories stay
+// cheap on the host. PhysMem is safe for concurrent use by multiple CPUs.
+type PhysMem struct {
+	mu     sync.RWMutex
+	frames [][]byte // nil until first written
+	nframe PFN
+
+	// dirty, when non-nil, records every frame written since the last
+	// CollectDirty — the log-dirty mode live migration's pre-copy
+	// rounds rely on. dirtyOn gates the hot path without a lock.
+	dirtyOn atomic.Bool
+	dirtyMu sync.Mutex
+	dirty   map[PFN]struct{}
+}
+
+// EnableDirtyLog starts recording written frames.
+func (m *PhysMem) EnableDirtyLog() {
+	m.dirtyMu.Lock()
+	if m.dirty == nil {
+		m.dirty = make(map[PFN]struct{})
+	}
+	m.dirtyOn.Store(true)
+	m.dirtyMu.Unlock()
+}
+
+// DisableDirtyLog stops recording and drops the log.
+func (m *PhysMem) DisableDirtyLog() {
+	m.dirtyMu.Lock()
+	m.dirtyOn.Store(false)
+	m.dirty = nil
+	m.dirtyMu.Unlock()
+}
+
+// CollectDirty returns and clears the set of frames written since the
+// last collection. Nil if logging is off.
+func (m *PhysMem) CollectDirty() []PFN {
+	m.dirtyMu.Lock()
+	defer m.dirtyMu.Unlock()
+	if m.dirty == nil {
+		return nil
+	}
+	out := make([]PFN, 0, len(m.dirty))
+	for pfn := range m.dirty {
+		out = append(out, pfn)
+	}
+	m.dirty = make(map[PFN]struct{})
+	return out
+}
+
+// markDirty records a write when logging is enabled.
+func (m *PhysMem) markDirty(pfn PFN) {
+	if !m.dirtyOn.Load() {
+		return
+	}
+	m.dirtyMu.Lock()
+	if m.dirty != nil {
+		m.dirty[pfn] = struct{}{}
+	}
+	m.dirtyMu.Unlock()
+}
+
+// NewPhysMem creates a physical memory of the given byte size (rounded
+// down to whole frames).
+func NewPhysMem(size uint64) *PhysMem {
+	n := PFN(size >> PageShift)
+	return &PhysMem{frames: make([][]byte, n), nframe: n}
+}
+
+// NumFrames returns the number of physical frames.
+func (m *PhysMem) NumFrames() PFN { return m.nframe }
+
+// Valid reports whether pfn addresses an existing frame.
+func (m *PhysMem) Valid(pfn PFN) bool { return pfn < m.nframe }
+
+// frame returns the backing slice for pfn, allocating it if needed.
+func (m *PhysMem) frame(pfn PFN) []byte {
+	m.mu.RLock()
+	f := m.frames[pfn]
+	m.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.frames[pfn] == nil {
+		m.frames[pfn] = make([]byte, PageSize)
+	}
+	return m.frames[pfn]
+}
+
+// ReadWord reads a 32-bit little-endian word at the physical address.
+func (m *PhysMem) ReadWord(a PhysAddr) uint32 {
+	pfn := PFNOf(a)
+	if !m.Valid(pfn) {
+		panic(fmt.Sprintf("hw: physical read beyond memory: %#x", a))
+	}
+	off := a & PageMask
+	if off > PageSize-4 {
+		panic(fmt.Sprintf("hw: unaligned word read across frame: %#x", a))
+	}
+	f := m.frame(pfn)
+	return uint32(f[off]) | uint32(f[off+1])<<8 |
+		uint32(f[off+2])<<16 | uint32(f[off+3])<<24
+}
+
+// WriteWord writes a 32-bit little-endian word at the physical address.
+func (m *PhysMem) WriteWord(a PhysAddr, v uint32) {
+	pfn := PFNOf(a)
+	if !m.Valid(pfn) {
+		panic(fmt.Sprintf("hw: physical write beyond memory: %#x", a))
+	}
+	off := a & PageMask
+	if off > PageSize-4 {
+		panic(fmt.Sprintf("hw: unaligned word write across frame: %#x", a))
+	}
+	f := m.frame(pfn)
+	f[off] = byte(v)
+	f[off+1] = byte(v >> 8)
+	f[off+2] = byte(v >> 16)
+	f[off+3] = byte(v >> 24)
+	m.markDirty(pfn)
+}
+
+// Load8 reads one byte at the physical address.
+func (m *PhysMem) Load8(a PhysAddr) byte {
+	pfn := PFNOf(a)
+	if !m.Valid(pfn) {
+		panic(fmt.Sprintf("hw: physical read beyond memory: %#x", a))
+	}
+	return m.frame(pfn)[a&PageMask]
+}
+
+// Store8 writes one byte at the physical address.
+func (m *PhysMem) Store8(a PhysAddr, v byte) {
+	pfn := PFNOf(a)
+	if !m.Valid(pfn) {
+		panic(fmt.Sprintf("hw: physical write beyond memory: %#x", a))
+	}
+	m.frame(pfn)[a&PageMask] = v
+	m.markDirty(pfn)
+}
+
+// CopyFrame copies the full contents of frame src into frame dst.
+func (m *PhysMem) CopyFrame(dst, src PFN) {
+	if !m.Valid(dst) || !m.Valid(src) {
+		panic("hw: CopyFrame beyond memory")
+	}
+	copy(m.frame(dst), m.frame(src))
+	m.markDirty(dst)
+}
+
+// ZeroFrame clears the contents of a frame.
+func (m *PhysMem) ZeroFrame(pfn PFN) {
+	if !m.Valid(pfn) {
+		panic("hw: ZeroFrame beyond memory")
+	}
+	m.mu.RLock()
+	f := m.frames[pfn]
+	m.mu.RUnlock()
+	if f == nil {
+		return // lazily-allocated frames are already zero
+	}
+	for i := range f {
+		f[i] = 0
+	}
+	m.markDirty(pfn)
+}
+
+// FrameBytes returns the backing bytes of a frame for bulk operations
+// (device DMA, checkpointing). The caller must respect frame ownership.
+func (m *PhysMem) FrameBytes(pfn PFN) []byte {
+	if !m.Valid(pfn) {
+		panic("hw: FrameBytes beyond memory")
+	}
+	m.markDirty(pfn) // pessimistic: the caller may write
+	return m.frame(pfn)
+}
+
+// FrameBytesRO returns the backing bytes for read-only use (snapshots,
+// migration senders) without touching the dirty log.
+func (m *PhysMem) FrameBytesRO(pfn PFN) []byte {
+	if !m.Valid(pfn) {
+		panic("hw: FrameBytesRO beyond memory")
+	}
+	return m.frame(pfn)
+}
+
+// Snapshot copies the full contents of physical memory. Untouched frames
+// are recorded as nil to keep checkpoints compact.
+func (m *PhysMem) Snapshot() [][]byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([][]byte, len(m.frames))
+	for i, f := range m.frames {
+		if f != nil {
+			cp := make([]byte, PageSize)
+			copy(cp, f)
+			out[i] = cp
+		}
+	}
+	return out
+}
+
+// Restore overwrites physical memory from a snapshot taken by Snapshot.
+func (m *PhysMem) Restore(snap [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(snap) != len(m.frames) {
+		return fmt.Errorf("hw: snapshot has %d frames, memory has %d",
+			len(snap), len(m.frames))
+	}
+	for i, f := range snap {
+		if f == nil {
+			m.frames[i] = nil
+			continue
+		}
+		cp := make([]byte, PageSize)
+		copy(cp, f)
+		m.frames[i] = cp
+	}
+	return nil
+}

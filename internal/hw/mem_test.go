@@ -1,0 +1,106 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysMemWordRoundTrip(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	m.WriteWord(0x1000, 0xDEADBEEF)
+	if got := m.ReadWord(0x1000); got != 0xDEADBEEF {
+		t.Fatalf("ReadWord = %#x", got)
+	}
+	// Little-endian layout.
+	if b := m.Load8(0x1000); b != 0xEF {
+		t.Fatalf("byte 0 = %#x, want 0xEF", b)
+	}
+	if b := m.Load8(0x1003); b != 0xDE {
+		t.Fatalf("byte 3 = %#x, want 0xDE", b)
+	}
+}
+
+func TestPhysMemZeroDefault(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	if got := m.ReadWord(0x4000); got != 0 {
+		t.Fatalf("untouched memory reads %#x", got)
+	}
+}
+
+func TestPhysMemCopyZeroFrame(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	m.WriteWord(PFN(3).Addr()+8, 42)
+	m.CopyFrame(5, 3)
+	if got := m.ReadWord(PFN(5).Addr() + 8); got != 42 {
+		t.Fatalf("copied frame reads %d", got)
+	}
+	m.ZeroFrame(5)
+	if got := m.ReadWord(PFN(5).Addr() + 8); got != 0 {
+		t.Fatalf("zeroed frame reads %d", got)
+	}
+}
+
+func TestPhysMemSnapshotRestore(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	m.WriteWord(0x2000, 7)
+	m.WriteWord(0x3004, 9)
+	snap := m.Snapshot()
+	m.WriteWord(0x2000, 100)
+	m.WriteWord(0x5000, 5)
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadWord(0x2000) != 7 || m.ReadWord(0x3004) != 9 || m.ReadWord(0x5000) != 0 {
+		t.Fatal("restore did not reproduce snapshot state")
+	}
+}
+
+func TestPhysMemRestoreSizeMismatch(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	if err := m.Restore(make([][]byte, 3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestPhysMemOutOfRangePanics(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.ReadWord(2 << 20)
+}
+
+func TestAddressHelpers(t *testing.T) {
+	if PFNOf(0x5123) != 5 {
+		t.Fatalf("PFNOf = %d", PFNOf(0x5123))
+	}
+	if PFN(5).Addr() != 0x5000 {
+		t.Fatalf("Addr = %#x", PFN(5).Addr())
+	}
+	if VPNOf(0xC0001234) != 0xC0001 {
+		t.Fatalf("VPNOf = %#x", VPNOf(0xC0001234))
+	}
+	if VPN(0xC0001).Addr() != 0xC0001000 {
+		t.Fatalf("VPN.Addr = %#x", VPN(0xC0001).Addr())
+	}
+}
+
+// Property: word writes at distinct aligned addresses never interfere.
+func TestPhysMemWriteIsolation(t *testing.T) {
+	m := NewPhysMem(1 << 22)
+	f := func(a, b uint16, va, vb uint32) bool {
+		pa := PhysAddr(a) * 4
+		pb := PhysAddr(b) * 4
+		if pa == pb {
+			return true
+		}
+		m.WriteWord(pa, va)
+		m.WriteWord(pb, vb)
+		return m.ReadWord(pa) == va && m.ReadWord(pb) == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

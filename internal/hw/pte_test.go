@@ -1,0 +1,121 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPTEEncodeDecode(t *testing.T) {
+	e := MakePTE(0x1234, PTEPresent|PTEWrite|PTEUser)
+	if !e.Present() || !e.Writable() || !e.UserOK() {
+		t.Fatal("flag decode failed")
+	}
+	if e.Frame() != 0x1234 {
+		t.Fatalf("Frame = %#x", e.Frame())
+	}
+	if e.Cow() {
+		t.Fatal("unexpected COW bit")
+	}
+}
+
+func TestPTEWithFlags(t *testing.T) {
+	e := MakePTE(7, PTEPresent|PTEWrite)
+	e2 := e.WithFlags(PTEPresent | PTECow)
+	if e2.Writable() || !e2.Cow() || e2.Frame() != 7 {
+		t.Fatalf("WithFlags produced %#x", uint32(e2))
+	}
+}
+
+// Property: frame and flags survive a round trip for any input.
+func TestPTERoundTrip(t *testing.T) {
+	f := func(pfn uint32, flags uint32) bool {
+		pfn &= 0x000FFFFF
+		flags &= 0xFFF
+		e := MakePTE(PFN(pfn), flags)
+		return e.Frame() == PFN(pfn) && e.Flags() == flags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDIndexPTIndex(t *testing.T) {
+	va := VirtAddr(0x0840_3123)
+	if PDIndex(va) != 0x21 {
+		t.Fatalf("PDIndex = %#x", PDIndex(va))
+	}
+	if PTIndex(va) != 3 {
+		t.Fatalf("PTIndex = %#x", PTIndex(va))
+	}
+}
+
+func TestWalkTwoLevel(t *testing.T) {
+	m := NewPhysMem(4 << 20)
+	root := PFN(1)
+	pt := PFN(2)
+	data := PFN(3)
+	va := VirtAddr(0x0800_2000)
+	WritePTE(m, root, PDIndex(va), MakePTE(pt, PTEPresent|PTEWrite|PTEUser))
+	WritePTE(m, pt, PTIndex(va), MakePTE(data, PTEPresent|PTEWrite|PTEUser))
+
+	w, ok := Walk(m, root, va)
+	if !ok {
+		t.Fatal("walk failed")
+	}
+	if w.PTE.Frame() != data || w.Table != pt || w.Index != PTIndex(va) {
+		t.Fatalf("walk = %+v", w)
+	}
+
+	// Absent PDE.
+	if _, ok := Walk(m, root, 0x4000_0000); ok {
+		t.Fatal("walk of unmapped PDE succeeded")
+	}
+	// Present PDE, absent PTE.
+	if _, ok := Walk(m, root, va+PageSize); ok {
+		t.Fatal("walk of unmapped PTE succeeded")
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	s := MakeSelector(GDTKernelCode, PL0)
+	if s.Index() != GDTKernelCode || s.RPL() != PL0 {
+		t.Fatalf("selector decode: %v", s)
+	}
+	s2 := s.WithRPL(PL1)
+	if s2.RPL() != PL1 || s2.Index() != GDTKernelCode {
+		t.Fatalf("WithRPL: %v", s2)
+	}
+}
+
+func TestGDTKernelDPLFlip(t *testing.T) {
+	g := NewGDT("test", PL0)
+	if g.KernelCS().RPL() != PL0 {
+		t.Fatal("fresh GDT kernel CS not PL0")
+	}
+	g.SetKernelDPL(PL1)
+	if g.Entries[GDTKernelCode].DPL != PL1 || g.Entries[GDTKernelData].DPL != PL1 {
+		t.Fatal("SetKernelDPL did not update descriptors")
+	}
+	// User and VMM descriptors untouched.
+	if g.Entries[GDTUserCode].DPL != PL3 || g.Entries[GDTVMMCode].DPL != PL0 {
+		t.Fatal("SetKernelDPL touched other descriptors")
+	}
+}
+
+func TestIDTSetGet(t *testing.T) {
+	idt := NewIDT("test")
+	called := false
+	idt.Set(14, Gate{Present: true, Target: PL0,
+		Handler: func(c *CPU, f *TrapFrame) { called = true }})
+	g := idt.Get(14)
+	if !g.Present {
+		t.Fatal("gate not present")
+	}
+	g.Handler(nil, nil)
+	if !called {
+		t.Fatal("handler not invoked")
+	}
+	if idt.Get(15).Present {
+		t.Fatal("empty gate reads present")
+	}
+}

@@ -1,0 +1,58 @@
+package hw
+
+import "sync"
+
+// SensorBank is the platform's hardware health monitoring (§6.5: "there
+// are usually some hardware monitors to monitor the temperature, fan
+// speed, voltage, and power supplies... these can be facilitated for
+// hardware failure prediction"). Readings are set by the environment
+// (tests, fault injection) and polled by the failure predictor.
+type SensorBank struct {
+	mu sync.Mutex
+	// readings by sensor name.
+	readings map[string]float64
+}
+
+// Default sensor names.
+const (
+	SensorCPUTempC = "cpu-temp-c"
+	SensorFanRPM   = "fan-rpm"
+	SensorCoreVolt = "core-voltage"
+	SensorPSUVolt  = "psu-voltage"
+)
+
+// NewSensorBank returns a bank with nominal readings.
+func NewSensorBank() *SensorBank {
+	return &SensorBank{readings: map[string]float64{
+		SensorCPUTempC: 52,
+		SensorFanRPM:   9800,
+		SensorCoreVolt: 1.32,
+		SensorPSUVolt:  12.05,
+	}}
+}
+
+// Read returns a sensor's current value (0 if unknown).
+func (s *SensorBank) Read(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readings[name]
+}
+
+// Set overrides a sensor reading (environmental change / fault
+// injection).
+func (s *SensorBank) Set(name string, v float64) {
+	s.mu.Lock()
+	s.readings[name] = v
+	s.mu.Unlock()
+}
+
+// Names returns the known sensors.
+func (s *SensorBank) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.readings))
+	for n := range s.readings {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package migrate implements the dependability features self-
+// virtualization enables (§6): whole-domain checkpoint and restart
+// (§6.1) and pre-copy live migration with dirty-page logging (§6.3,
+// following Clark et al.'s algorithm the paper builds on). Both operate
+// on a domain's physical memory partition plus its vcpu and page-table
+// state; restoring onto a different machine relocates page-table frame
+// numbers the way Xen's migration canonicalizes MFNs.
+package migrate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// DomainImage is a serializable snapshot of one domain.
+type DomainImage struct {
+	Name   string
+	Lo, Hi hw.PFN // frame partition [Lo, Hi)
+	// Pages holds the contents of every touched frame, keyed by PFN.
+	Pages map[hw.PFN][]byte
+	// VCPU state.
+	CR3 hw.PFN
+	VIF bool
+	// PinnedRoots are the page-directory roots the VMM had pinned.
+	PinnedRoots []hw.PFN
+	Privileged  bool
+}
+
+// Bytes returns the gob encoding (what would travel to stable storage
+// or the migration socket).
+func (img *DomainImage) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("migrate: encoding image: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeImage parses a gob-encoded image.
+func DecodeImage(b []byte) (*DomainImage, error) {
+	var img DomainImage
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("migrate: decoding image: %w", err)
+	}
+	return &img, nil
+}
+
+// MemBytes returns the snapshot payload size.
+func (img *DomainImage) MemBytes() int { return len(img.Pages) * hw.PageSize }
+
+// Checkpoint pauses d, snapshots its memory and vcpu state, and resumes
+// it (§6.1: "the pre-cached VMM is activated and makes a snapshot of the
+// whole system"). The calling CPU is charged the copy costs.
+func Checkpoint(c *hw.CPU, v *xen.VMM, caller, d *xen.Domain) (*DomainImage, error) {
+	if !v.Active {
+		return nil, fmt.Errorf("migrate: checkpoint requires an active VMM")
+	}
+	if err := v.HypDomctlPause(c, caller, d.ID); err != nil {
+		return nil, err
+	}
+	img := snapshot(c, v, d)
+	if err := v.HypDomctlUnpause(c, caller, d.ID); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// snapshot copies the domain's touched frames (internal; also used by
+// the stop-and-copy phase of live migration).
+func snapshot(c *hw.CPU, v *xen.VMM, d *xen.Domain) *DomainImage {
+	lo, hi := d.Frames.Range()
+	img := &DomainImage{
+		Name:        d.Name,
+		Lo:          lo,
+		Hi:          hi,
+		Pages:       make(map[hw.PFN][]byte),
+		CR3:         d.VCPU0().CR3(),
+		VIF:         d.VCPU0().VIF(),
+		PinnedRoots: d.PinnedRoots(),
+		Privileged:  d.Privileged,
+	}
+	zero := make([]byte, hw.PageSize)
+	for pfn := lo; pfn < hi; pfn++ {
+		data := v.M.Mem.FrameBytesRO(pfn)
+		if bytes.Equal(data, zero) {
+			continue // untouched frames are implicit
+		}
+		cp := make([]byte, hw.PageSize)
+		copy(cp, data)
+		img.Pages[pfn] = cp
+		c.Charge(v.M.Costs.PageCopy)
+	}
+	return img
+}
+
+// Restore writes an image into the target domain's partition on machine
+// dst. The target partition must be at least as large as the source's.
+// When the partitions start at different frame numbers, every page-table
+// entry and the CR3 are relocated by the frame delta — the
+// canonicalization step of real migration.
+func Restore(c *hw.CPU, dst *xen.VMM, caller, into *xen.Domain, img *DomainImage) error {
+	lo, hi := into.Frames.Range()
+	if hi-lo < img.Hi-img.Lo {
+		return fmt.Errorf("migrate: target partition %d frames < source %d",
+			hi-lo, img.Hi-img.Lo)
+	}
+	if err := dst.HypDomctlPause(c, caller, into.ID); err != nil {
+		return err
+	}
+	delta := int64(lo) - int64(img.Lo)
+	// Clear the target range, then lay the pages down.
+	for pfn := lo; pfn < hi; pfn++ {
+		dst.M.Mem.ZeroFrame(pfn)
+	}
+	for pfn, data := range img.Pages {
+		tgt := hw.PFN(int64(pfn) + delta)
+		copy(dst.M.Mem.FrameBytes(tgt), data)
+		c.Charge(dst.M.Costs.PageCopy)
+	}
+	if delta != 0 {
+		relocateTables(c, dst.M.Mem, img, delta)
+	}
+	into.VCPU0().SetCR3(hw.PFN(int64(img.CR3) + delta))
+	into.VCPU0().SetVIF(img.VIF)
+	return dst.HypDomctlUnpause(c, caller, into.ID)
+}
+
+// relocateTables rewrites frame numbers inside every restored page-table
+// tree by delta.
+func relocateTables(c *hw.CPU, mem *hw.PhysMem, img *DomainImage, delta int64) {
+	for _, root := range img.PinnedRoots {
+		newRoot := hw.PFN(int64(root) + delta)
+		for pdi := 0; pdi < hw.PTEntries; pdi++ {
+			pde := hw.ReadPTE(mem, newRoot, pdi)
+			if !pde.Present() {
+				continue
+			}
+			newPT := hw.PFN(int64(pde.Frame()) + delta)
+			hw.WritePTE(mem, newRoot, pdi, hw.MakePTE(newPT, pde.Flags()))
+			c.Charge(40) // entry rewrite work
+			for pti := 0; pti < hw.PTEntries; pti++ {
+				pte := hw.ReadPTE(mem, newPT, pti)
+				if !pte.Present() {
+					continue
+				}
+				hw.WritePTE(mem, newPT, pti,
+					hw.MakePTE(hw.PFN(int64(pte.Frame())+delta), pte.Flags()))
+			}
+		}
+	}
+}

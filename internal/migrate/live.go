@@ -1,0 +1,187 @@
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// LiveConfig tunes the pre-copy algorithm.
+type LiveConfig struct {
+	// MaxRounds bounds the iterative pre-copy phase.
+	MaxRounds int
+	// StopThreshold: when a round leaves at most this many dirty pages,
+	// stop-and-copy begins.
+	StopThreshold int
+	// Link carries the transfer (the Gigabit migration network).
+	Link hw.LinkProps
+	// Mutator, when set, is invoked between rounds to stand in for the
+	// still-running guest dirtying memory.
+	Mutator func(round int)
+}
+
+// DefaultLiveConfig mirrors Clark et al.'s settings at this scale.
+func DefaultLiveConfig() LiveConfig {
+	return LiveConfig{MaxRounds: 8, StopThreshold: 16, Link: hw.Gigabit()}
+}
+
+// LiveReport describes one completed live migration.
+type LiveReport struct {
+	Rounds       []RoundReport
+	TotalPages   int
+	DowntimeCyc  hw.Cycles // stop-and-copy duration (service interruption)
+	TotalCyc     hw.Cycles
+	DowntimeUSec float64
+	TotalUSec    float64
+}
+
+// RoundReport is one pre-copy iteration.
+type RoundReport struct {
+	Round int
+	Pages int
+}
+
+// Live migrates domain d from src to a fresh domain on dst using
+// iterative pre-copy: round 0 transfers all touched memory while the
+// guest keeps running (and dirtying pages, via cfg.Mutator); subsequent
+// rounds transfer only what was dirtied; when the dirty set is small
+// enough the domain pauses, the remainder and vcpu state move, and the
+// domain resumes on the destination (§6.3: online maintenance migrates
+// the execution environment to another machine).
+func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
+	dst *xen.VMM, dstCaller *xen.Domain, cfg LiveConfig) (*xen.Domain, *LiveReport, error) {
+
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 8
+	}
+	if cfg.Link.BandwidthBps == 0 {
+		cfg.Link = hw.Gigabit()
+	}
+	lo, hi := d.Frames.Range()
+	into, err := dst.CreateDomain(d.Name+"-migrated", hi-lo, d.Privileged)
+	if err != nil {
+		return nil, nil, fmt.Errorf("migrate: allocating target domain: %w", err)
+	}
+
+	rep := &LiveReport{}
+	start := c.Now()
+	mem := src.M.Mem
+	dLo, dHi := into.Frames.Range()
+	delta := int64(dLo) - int64(lo)
+
+	sendPages := func(pages []hw.PFN) {
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		for _, pfn := range pages {
+			tgt := hw.PFN(int64(pfn) + delta)
+			copy(dst.M.Mem.FrameBytes(tgt), mem.FrameBytesRO(pfn))
+			c.Charge(src.M.Costs.PageCopy + src.M.Costs.NetStackTx/4)
+			// Wire serialization dominates elapsed time.
+			c.Charge(hw.Cycles(uint64(hw.PageSize) * 8 * src.M.Hz / cfg.Link.BandwidthBps))
+		}
+		rep.TotalPages += len(pages)
+	}
+
+	// Round 0: everything touched so far, with the dirty log armed so
+	// concurrent writes are caught next round.
+	mem.EnableDirtyLog()
+	defer mem.DisableDirtyLog()
+	var first []hw.PFN
+	zero := make([]byte, hw.PageSize)
+	for pfn := lo; pfn < hi; pfn++ {
+		if !bytesEqualZero(mem.FrameBytesRO(pfn), zero) {
+			first = append(first, pfn)
+		}
+	}
+	mem.CollectDirty() // discard dirt from our own scan
+	if cfg.Mutator != nil {
+		cfg.Mutator(0)
+	}
+	sendPages(first)
+	rep.Rounds = append(rep.Rounds, RoundReport{Round: 0, Pages: len(first)})
+
+	// Iterative rounds.
+	stopThreshold := cfg.StopThreshold
+	if stopThreshold == 0 {
+		stopThreshold = 16
+	}
+	var dirty []hw.PFN
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		if cfg.Mutator != nil {
+			cfg.Mutator(round)
+		}
+		dirty = filterRange(mem.CollectDirty(), lo, hi)
+		if len(dirty) <= stopThreshold {
+			break
+		}
+		sendPages(dirty)
+		rep.Rounds = append(rep.Rounds, RoundReport{Round: round, Pages: len(dirty)})
+		dirty = nil
+	}
+
+	// Stop-and-copy: pause, transfer the remainder plus vcpu state,
+	// resume on the destination.
+	stopStart := c.Now()
+	if err := src.HypDomctlPause(c, caller, d.ID); err != nil {
+		return nil, nil, err
+	}
+	final := filterRange(mem.CollectDirty(), lo, hi)
+	if len(final) == 0 {
+		final = dirty
+	} else {
+		final = append(final, dirty...)
+		final = dedup(final)
+	}
+	sendPages(final)
+	rep.Rounds = append(rep.Rounds, RoundReport{Round: len(rep.Rounds), Pages: len(final)})
+
+	into.VCPU0().SetCR3(hw.PFN(int64(d.VCPU0().CR3()) + delta))
+	into.VCPU0().SetVIF(d.VCPU0().VIF())
+	if delta != 0 {
+		img := &DomainImage{Lo: lo, Hi: hi, PinnedRoots: d.PinnedRoots()}
+		relocateTables(c, dst.M.Mem, img, delta)
+	}
+	if err := src.HypDomctlDestroy(c, caller, d.ID); err != nil {
+		return nil, nil, err
+	}
+	into.State = xen.DomRunning
+	rep.DowntimeCyc = c.Now() - stopStart
+	rep.TotalCyc = c.Now() - start
+	rep.DowntimeUSec = float64(rep.DowntimeCyc) / float64(src.M.Hz) * 1e6
+	rep.TotalUSec = float64(rep.TotalCyc) / float64(src.M.Hz) * 1e6
+	_ = dHi
+	return into, rep, nil
+}
+
+func bytesEqualZero(b, zero []byte) bool {
+	for i := range b {
+		if b[i] != 0 {
+			return false
+		}
+	}
+	_ = zero
+	return true
+}
+
+func filterRange(pfns []hw.PFN, lo, hi hw.PFN) []hw.PFN {
+	out := pfns[:0]
+	for _, p := range pfns {
+		if p >= lo && p < hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func dedup(pfns []hw.PFN) []hw.PFN {
+	seen := make(map[hw.PFN]bool, len(pfns))
+	out := pfns[:0]
+	for _, p := range pfns {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package migrate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// env builds an active VMM with a privileged caller domain and a guest
+// domain whose memory holds a recognizable pattern.
+func env(t *testing.T) (*xen.VMM, *xen.Domain, *xen.Domain, *hw.CPU) {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 32 << 20, NumCPUs: 1})
+	v, err := xen.Boot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.BootCPU()
+	v.Activate(c)
+	caller, err := v.CreateDomain("dom0", 1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, err := v.CreateDomain("guest", 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetCurrent(c, caller)
+	return v, caller, guest, c
+}
+
+// fill writes a deterministic pattern into n frames of d.
+func fill(v *xen.VMM, d *xen.Domain, n int) []hw.PFN {
+	lo, _ := d.Frames.Range()
+	var pfns []hw.PFN
+	for i := 0; i < n; i++ {
+		pfn := lo + hw.PFN(i)
+		v.M.Mem.WriteWord(pfn.Addr(), uint32(0xAB00_0000)|uint32(pfn))
+		v.M.Mem.WriteWord(pfn.Addr()+128, uint32(i))
+		pfns = append(pfns, pfn)
+	}
+	return pfns
+}
+
+func verify(t *testing.T, mem *hw.PhysMem, src, dst []hw.PFN, srcOrig []hw.PFN) {
+	t.Helper()
+	for i, pfn := range dst {
+		if got := mem.ReadWord(pfn.Addr() + 128); got != uint32(i) {
+			t.Fatalf("frame %d payload = %d, want %d", pfn, got, i)
+		}
+		_ = src
+		_ = srcOrig
+	}
+}
+
+func TestCheckpointRestoreSameMachine(t *testing.T) {
+	v, caller, guest, c := env(t)
+	pfns := fill(v, guest, 32)
+	guest.VCPU0().SetCR3(pfns[0])
+
+	img, err := Checkpoint(c, v, caller, guest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guest.State != xen.DomRunning {
+		t.Fatal("guest not resumed after checkpoint")
+	}
+	if len(img.Pages) < 32 {
+		t.Fatalf("image holds %d pages", len(img.Pages))
+	}
+
+	// Corrupt, then restore.
+	for _, pfn := range pfns {
+		v.M.Mem.ZeroFrame(pfn)
+	}
+	if err := Restore(c, v, caller, guest, img); err != nil {
+		t.Fatal(err)
+	}
+	for i, pfn := range pfns {
+		if got := v.M.Mem.ReadWord(pfn.Addr() + 128); got != uint32(i) {
+			t.Fatalf("frame %d payload = %d after restore", pfn, got)
+		}
+	}
+	if guest.VCPU0().CR3() != pfns[0] {
+		t.Fatal("vcpu CR3 not restored")
+	}
+}
+
+func TestImageEncodeDecode(t *testing.T) {
+	v, caller, guest, c := env(t)
+	fill(v, guest, 8)
+	img, err := Checkpoint(c, v, caller, guest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := img.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeImage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != img.Name || len(back.Pages) != len(img.Pages) {
+		t.Fatal("round trip lost data")
+	}
+	if back.MemBytes() != img.MemBytes() {
+		t.Fatal("size mismatch")
+	}
+}
+
+func TestRestoreAcrossMachinesRelocates(t *testing.T) {
+	v1, caller1, guest1, c1 := env(t)
+
+	// Build a tiny page-table tree in the guest so relocation has work.
+	lo, _ := guest1.Frames.Range()
+	root := lo + 100
+	pt := lo + 101
+	data := lo + 102
+	hw.WritePTE(v1.M.Mem, root, 3, hw.MakePTE(pt, hw.PTEPresent|hw.PTEWrite))
+	hw.WritePTE(v1.M.Mem, pt, 7, hw.MakePTE(data, hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+	v1.M.Mem.WriteWord(data.Addr(), 0xFEED)
+	guest1.VCPU0().SetCR3(root)
+
+	img, err := Checkpoint(c1, v1, caller1, guest1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.PinnedRoots = []hw.PFN{root}
+
+	// Second machine with a different partition layout.
+	m2 := hw.NewMachine(hw.Config{MemBytes: 32 << 20, NumCPUs: 1})
+	v2, err := xen.Boot(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := m2.BootCPU()
+	v2.Activate(c2)
+	caller2, _ := v2.CreateDomain("dom0", 512, true)
+	into, _ := v2.CreateDomain("incoming", 1024, false)
+	v2.SetCurrent(c2, caller2)
+
+	if err := Restore(c2, v2, caller2, into, img); err != nil {
+		t.Fatal(err)
+	}
+	lo2, _ := into.Frames.Range()
+	delta := int64(lo2) - int64(lo)
+	newRoot := hw.PFN(int64(root) + delta)
+	if into.VCPU0().CR3() != newRoot {
+		t.Fatalf("CR3 = %d, want %d", into.VCPU0().CR3(), newRoot)
+	}
+	// The relocated tree walks to the relocated data frame.
+	w, ok := hw.Walk(v2.M.Mem, newRoot, hw.VirtAddr(3<<hw.PDShift|7<<hw.PageShift))
+	if !ok {
+		t.Fatal("relocated tree does not walk")
+	}
+	if got := v2.M.Mem.ReadWord(w.PTE.Frame().Addr()); got != 0xFEED {
+		t.Fatalf("relocated data = %#x", got)
+	}
+}
+
+func TestLiveMigrationPreservesMutatingMemory(t *testing.T) {
+	v1, caller1, guest, c := env(t)
+	fill(v1, guest, 64)
+	lo, _ := guest.Frames.Range()
+
+	m2 := hw.NewMachine(hw.Config{MemBytes: 32 << 20, NumCPUs: 1})
+	v2, err := xen.Boot(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := m2.BootCPU()
+	v2.Activate(c2)
+	caller2, _ := v2.CreateDomain("dom0", 512, true)
+	v2.SetCurrent(c2, caller2)
+
+	// The guest keeps mutating during pre-copy; the final values must
+	// arrive regardless.
+	finalVals := make(map[hw.PFN]uint32)
+	mutator := func(round int) {
+		for i := 0; i < 10; i++ {
+			pfn := lo + hw.PFN((round*7+i*3)%64)
+			val := uint32(round*1000 + i)
+			v1.M.Mem.WriteWord(pfn.Addr()+256, val)
+			finalVals[pfn] = val
+		}
+	}
+
+	cfg := DefaultLiveConfig()
+	cfg.Mutator = mutator
+	into, rep, err := Live(c, v1, caller1, guest, v2, caller2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) < 2 {
+		t.Fatalf("pre-copy did only %d rounds", len(rep.Rounds))
+	}
+	if rep.DowntimeCyc == 0 || rep.DowntimeCyc >= rep.TotalCyc {
+		t.Fatalf("downtime %d vs total %d", rep.DowntimeCyc, rep.TotalCyc)
+	}
+	lo2, _ := into.Frames.Range()
+	delta := int64(lo2) - int64(lo)
+	for pfn, want := range finalVals {
+		tgt := hw.PFN(int64(pfn) + delta)
+		if got := v2.M.Mem.ReadWord(tgt.Addr() + 256); got != want {
+			t.Fatalf("frame %d: got %d want %d", tgt, got, want)
+		}
+	}
+	// Source domain is gone.
+	if _, ok := v1.Domains[guest.ID]; ok {
+		t.Fatal("source domain survived migration")
+	}
+	if into.State != xen.DomRunning {
+		t.Fatal("target not running")
+	}
+}
+
+func TestLiveMigrationIdleGuestConverges(t *testing.T) {
+	v1, caller1, guest, c := env(t)
+	fill(v1, guest, 128)
+
+	m2 := hw.NewMachine(hw.Config{MemBytes: 32 << 20, NumCPUs: 1})
+	v2, _ := xen.Boot(m2)
+	c2 := m2.BootCPU()
+	v2.Activate(c2)
+	caller2, _ := v2.CreateDomain("dom0", 512, true)
+	v2.SetCurrent(c2, caller2)
+
+	_, rep, err := Live(c, v1, caller1, guest, v2, caller2, DefaultLiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An idle guest converges after round 0 plus the (empty) final copy.
+	if rep.Rounds[0].Pages < 128 {
+		t.Fatalf("round 0 moved %d pages", rep.Rounds[0].Pages)
+	}
+	last := rep.Rounds[len(rep.Rounds)-1]
+	if last.Pages > 16 {
+		t.Fatalf("final copy moved %d pages (no convergence)", last.Pages)
+	}
+}
+
+// Property: checkpoint -> restore is an identity on guest memory for
+// arbitrary contents.
+func TestCheckpointRestoreIdentity(t *testing.T) {
+	f := func(seed uint32, words []uint32) bool {
+		v, caller, guest, c := env(t)
+		lo, _ := guest.Frames.Range()
+		for i, w := range words {
+			if i >= 256 {
+				break
+			}
+			pfn := lo + hw.PFN(i%64)
+			v.M.Mem.WriteWord(pfn.Addr()+hw.PhysAddr((i%1000)*4), w^seed)
+		}
+		img, err := Checkpoint(c, v, caller, guest)
+		if err != nil {
+			return false
+		}
+		before := make(map[hw.PFN][]byte)
+		for pfn := range img.Pages {
+			cp := make([]byte, hw.PageSize)
+			copy(cp, v.M.Mem.FrameBytes(pfn))
+			before[pfn] = cp
+		}
+		// Scramble and restore.
+		for pfn := range img.Pages {
+			v.M.Mem.ZeroFrame(pfn)
+		}
+		if err := Restore(c, v, caller, guest, img); err != nil {
+			return false
+		}
+		for pfn, want := range before {
+			got := v.M.Mem.FrameBytes(pfn)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

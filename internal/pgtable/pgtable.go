@@ -1,0 +1,223 @@
+// Package pgtable manages two-level page-table trees in simulated
+// physical memory. It is shared by the guest kernel (which builds address
+// spaces) and the VMM (which validates and pins the same trees in direct
+// paging mode, §3.2.2). The package never decides *how* an entry store is
+// performed — callers supply a WriteFn, which the guest binds to its
+// current virtualization object so stores are direct in native mode and
+// hypercalls in virtual mode.
+package pgtable
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// WriteFn stores a page-table entry. The guest kernel passes its
+// virtualization object's sensitive-memory operation here.
+type WriteFn func(table hw.PFN, idx int, e hw.PTE)
+
+// AllocFn allocates a frame for a new page-table page.
+type AllocFn func() hw.PFN
+
+// DirectWriter returns a WriteFn that stores entries straight into
+// physical memory — what a native kernel (PL0) is allowed to do.
+func DirectWriter(mem *hw.PhysMem) WriteFn {
+	return func(table hw.PFN, idx int, e hw.PTE) {
+		hw.WritePTE(mem, table, idx, e)
+	}
+}
+
+// Tables is one page-table tree rooted at Root.
+type Tables struct {
+	Mem  *hw.PhysMem
+	Root hw.PFN
+}
+
+// New allocates an empty tree.
+func New(mem *hw.PhysMem, alloc AllocFn) (*Tables, error) {
+	root := alloc()
+	if root == hw.NoPFN {
+		return nil, fmt.Errorf("pgtable: out of frames for root")
+	}
+	mem.ZeroFrame(root)
+	return &Tables{Mem: mem, Root: root}, nil
+}
+
+// Attach wraps an existing tree (e.g., after restoring a checkpoint).
+func Attach(mem *hw.PhysMem, root hw.PFN) *Tables {
+	return &Tables{Mem: mem, Root: root}
+}
+
+// Lookup returns the leaf entry for va.
+func (t *Tables) Lookup(va hw.VirtAddr) (hw.PTE, bool) {
+	w, ok := hw.Walk(t.Mem, t.Root, va)
+	if !ok {
+		return w.PTE, false
+	}
+	return w.PTE, true
+}
+
+// Slot describes where a leaf entry lives.
+type Slot struct {
+	Table hw.PFN
+	Index int
+}
+
+// SlotFor returns the slot for va, creating the intermediate table with
+// alloc/write if needed. The new page-directory entry is stored through
+// write so it is validated in virtual mode like any other sensitive store.
+func (t *Tables) SlotFor(va hw.VirtAddr, alloc AllocFn, write WriteFn) (Slot, error) {
+	pde := hw.ReadPTE(t.Mem, t.Root, hw.PDIndex(va))
+	if !pde.Present() {
+		pt := alloc()
+		if pt == hw.NoPFN {
+			return Slot{}, fmt.Errorf("pgtable: out of frames for page table")
+		}
+		t.Mem.ZeroFrame(pt)
+		flags := hw.PTEPresent | hw.PTEWrite
+		if va < hw.KernelBase {
+			flags |= hw.PTEUser
+		}
+		write(t.Root, hw.PDIndex(va), hw.MakePTE(pt, flags))
+		pde = hw.ReadPTE(t.Mem, t.Root, hw.PDIndex(va))
+	}
+	return Slot{Table: pde.Frame(), Index: hw.PTIndex(va)}, nil
+}
+
+// ExistingSlot returns the slot for va without creating tables.
+func (t *Tables) ExistingSlot(va hw.VirtAddr) (Slot, bool) {
+	pde := hw.ReadPTE(t.Mem, t.Root, hw.PDIndex(va))
+	if !pde.Present() {
+		return Slot{}, false
+	}
+	return Slot{Table: pde.Frame(), Index: hw.PTIndex(va)}, true
+}
+
+// Map installs a leaf mapping va -> pfn with flags.
+func (t *Tables) Map(va hw.VirtAddr, pfn hw.PFN, flags uint32,
+	alloc AllocFn, write WriteFn) error {
+	s, err := t.SlotFor(va, alloc, write)
+	if err != nil {
+		return err
+	}
+	write(s.Table, s.Index, hw.MakePTE(pfn, flags|hw.PTEPresent))
+	return nil
+}
+
+// Unmap clears the leaf mapping for va and returns the old entry.
+func (t *Tables) Unmap(va hw.VirtAddr, write WriteFn) (hw.PTE, bool) {
+	s, ok := t.ExistingSlot(va)
+	if !ok {
+		return 0, false
+	}
+	old := hw.ReadPTE(t.Mem, s.Table, s.Index)
+	if !old.Present() {
+		return old, false
+	}
+	write(s.Table, s.Index, 0)
+	return old, true
+}
+
+// Mapping is one present leaf entry reported by Visit.
+type Mapping struct {
+	VA   hw.VirtAddr
+	Slot Slot
+	PTE  hw.PTE
+}
+
+// Visit calls fn for every present leaf mapping, in address order.
+// Returning false stops the walk.
+func (t *Tables) Visit(fn func(m Mapping) bool) {
+	for pdi := 0; pdi < hw.PTEntries; pdi++ {
+		pde := hw.ReadPTE(t.Mem, t.Root, pdi)
+		if !pde.Present() {
+			continue
+		}
+		pt := pde.Frame()
+		for pti := 0; pti < hw.PTEntries; pti++ {
+			pte := hw.ReadPTE(t.Mem, pt, pti)
+			if !pte.Present() {
+				continue
+			}
+			va := hw.VirtAddr(uint32(pdi)<<hw.PDShift | uint32(pti)<<hw.PageShift)
+			if !fn(Mapping{VA: va, Slot: Slot{Table: pt, Index: pti}, PTE: pte}) {
+				return
+			}
+		}
+	}
+}
+
+// VisitRange is Visit restricted to [lo, hi).
+func (t *Tables) VisitRange(lo, hi hw.VirtAddr, fn func(m Mapping) bool) {
+	t.Visit(func(m Mapping) bool {
+		if m.VA < lo || m.VA >= hi {
+			return true
+		}
+		return fn(m)
+	})
+}
+
+// TableFrames returns the root frame followed by every referenced
+// page-table frame. The VMM pins exactly this set when the tree is
+// installed in direct mode, and Mercury's recompute pass scans it.
+func (t *Tables) TableFrames() []hw.PFN {
+	out := []hw.PFN{t.Root}
+	for pdi := 0; pdi < hw.PTEntries; pdi++ {
+		pde := hw.ReadPTE(t.Mem, t.Root, pdi)
+		if pde.Present() {
+			out = append(out, pde.Frame())
+		}
+	}
+	return out
+}
+
+// CountMappings returns the number of present leaf entries.
+func (t *Tables) CountMappings() int {
+	n := 0
+	t.Visit(func(Mapping) bool { n++; return true })
+	return n
+}
+
+// Clone copies the tree into newly allocated frames, applying xform to
+// each leaf entry (fork uses this to apply copy-on-write downgrades).
+// Writes into the fresh frames go straight to memory: the new tree is not
+// yet live, so no validation applies until its root is installed.
+func (t *Tables) Clone(alloc AllocFn, xform func(hw.PTE) hw.PTE) (*Tables, error) {
+	nt, err := New(t.Mem, alloc)
+	if err != nil {
+		return nil, err
+	}
+	for pdi := 0; pdi < hw.PTEntries; pdi++ {
+		pde := hw.ReadPTE(t.Mem, t.Root, pdi)
+		if !pde.Present() {
+			continue
+		}
+		np := alloc()
+		if np == hw.NoPFN {
+			return nil, fmt.Errorf("pgtable: out of frames cloning tree")
+		}
+		t.Mem.ZeroFrame(np)
+		hw.WritePTE(t.Mem, nt.Root, pdi, hw.MakePTE(np, pde.Flags()))
+		pt := pde.Frame()
+		for pti := 0; pti < hw.PTEntries; pti++ {
+			pte := hw.ReadPTE(t.Mem, pt, pti)
+			if !pte.Present() {
+				continue
+			}
+			hw.WritePTE(t.Mem, np, pti, xform(pte))
+		}
+	}
+	return nt, nil
+}
+
+// Free releases every table frame (not the mapped data frames) to free.
+func (t *Tables) Free(free func(hw.PFN)) {
+	for pdi := 0; pdi < hw.PTEntries; pdi++ {
+		pde := hw.ReadPTE(t.Mem, t.Root, pdi)
+		if pde.Present() {
+			free(pde.Frame())
+		}
+	}
+	free(t.Root)
+}

@@ -1,0 +1,95 @@
+package vo
+
+import (
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// Direct performs every sensitive operation straight on the hardware, as
+// an unmodified native kernel (the N-L baseline) would: no object-table
+// indirection, no reference counting, no VMM awareness. Mercury's Native
+// object wraps these same bodies.
+type Direct struct {
+	M     *hw.Machine
+	Stats Stats
+}
+
+// NewDirect returns the bare-hardware operation set.
+func NewDirect(m *hw.Machine) *Direct { return &Direct{M: m} }
+
+// Name identifies the object.
+func (d *Direct) Name() string { return "direct" }
+
+// Virtualized reports false: operations hit hardware directly.
+func (d *Direct) Virtualized() bool { return false }
+
+// Refs is always zero: an unmodified kernel has no tracking.
+func (d *Direct) Refs() int64 { return 0 }
+
+// SetInterrupts executes cli/sti.
+func (d *Direct) SetInterrupts(c *hw.CPU, on bool) {
+	d.Stats.Calls.Add(1)
+	if on {
+		c.Sti()
+	} else {
+		c.Cli()
+	}
+}
+
+// LoadInterruptTable executes lidt.
+func (d *Direct) LoadInterruptTable(c *hw.CPU, t *hw.IDT) {
+	d.Stats.Calls.Add(1)
+	c.Lidt(t)
+}
+
+// ArmTimer programs the local APIC timer.
+func (d *Direct) ArmTimer(c *hw.CPU, deadline hw.Cycles) {
+	d.Stats.Calls.Add(1)
+	c.Charge(d.M.Costs.PrivInsn)
+	c.LAPIC.ArmTimer(deadline, hw.VecTimer)
+}
+
+// ContextSwitch loads CR3 (flushing the TLB).
+func (d *Direct) ContextSwitch(c *hw.CPU, root hw.PFN) {
+	d.Stats.Calls.Add(1)
+	c.WriteCR3(root)
+}
+
+// WritePTE stores the entry directly.
+func (d *Direct) WritePTE(c *hw.CPU, table hw.PFN, idx int, e hw.PTE) {
+	d.Stats.Calls.Add(1)
+	d.Stats.PTEWrites.Add(1)
+	c.Charge(d.M.Costs.PTEWriteNative)
+	hw.WritePTE(d.M.Mem, table, idx, e)
+}
+
+// WritePTEBatch stores each entry directly.
+func (d *Direct) WritePTEBatch(c *hw.CPU, batch []xen.MMUUpdate) {
+	d.Stats.Calls.Add(1)
+	d.Stats.PTEWrites.Add(uint64(len(batch)))
+	for _, u := range batch {
+		c.Charge(d.M.Costs.PTEWriteNative)
+		hw.WritePTE(d.M.Mem, u.Table, u.Index, u.New)
+	}
+}
+
+// RegisterRoot is a no-op on bare hardware.
+func (d *Direct) RegisterRoot(c *hw.CPU, root hw.PFN) { d.Stats.Calls.Add(1) }
+
+// ReleaseRoot is a no-op on bare hardware.
+func (d *Direct) ReleaseRoot(c *hw.CPU, root hw.PFN) { d.Stats.Calls.Add(1) }
+
+// FlushTLB reloads CR3 in place.
+func (d *Direct) FlushTLB(c *hw.CPU) {
+	d.Stats.Calls.Add(1)
+	c.Charge(d.M.Costs.PrivInsn + d.M.Costs.TLBFlush)
+	c.TLB.Flush()
+}
+
+// InvalidatePage executes invlpg.
+func (d *Direct) InvalidatePage(c *hw.CPU, va hw.VirtAddr) {
+	d.Stats.Calls.Add(1)
+	c.Invlpg(va)
+}
+
+var _ Object = (*Direct)(nil)

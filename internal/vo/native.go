@@ -1,0 +1,139 @@
+package vo
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// Tracker is the active-tracking policy (§5.1.2 "first approach"): in
+// native mode, every page-table store is mirrored into the pre-cached
+// VMM's frame table. Costs 2–3 % in native mode but makes the
+// native->virtual switch skip the frame-info recompute.
+type Tracker struct {
+	V *xen.VMM
+	D *xen.Domain
+}
+
+// Native is Mercury's native-mode virtualization object: the Direct
+// operation bodies invoked through the object table, with entry/exit
+// reference counting so the mode-switch machinery can tell when the
+// kernel is inside sensitive code (§5.1.1).
+type Native struct {
+	d *Direct
+	refcount
+	// Track, when non-nil, enables the active-tracking policy.
+	Track *Tracker
+	Stats Stats
+}
+
+// NewNative returns Mercury's native-mode object.
+func NewNative(m *hw.Machine) *Native {
+	return &Native{d: NewDirect(m)}
+}
+
+// call wraps one operation: object-table indirection plus reference
+// counting. The returned closure is the exit.
+func (n *Native) call(c *hw.CPU) func() {
+	n.Stats.Calls.Add(1)
+	n.enter() // count first: the charges below may deliver interrupts
+	c.Charge(n.d.M.Costs.VOIndirect + n.d.M.Costs.VORefCount)
+	return n.exit
+}
+
+// Name identifies the object.
+func (n *Native) Name() string { return "native" }
+
+// Virtualized reports false.
+func (n *Native) Virtualized() bool { return false }
+
+// SetInterrupts executes cli/sti through the object table.
+func (n *Native) SetInterrupts(c *hw.CPU, on bool) {
+	defer n.call(c)()
+	n.d.SetInterrupts(c, on)
+}
+
+// LoadInterruptTable executes lidt through the object table.
+func (n *Native) LoadInterruptTable(c *hw.CPU, t *hw.IDT) {
+	defer n.call(c)()
+	n.d.LoadInterruptTable(c, t)
+}
+
+// ArmTimer programs the APIC timer through the object table.
+func (n *Native) ArmTimer(c *hw.CPU, deadline hw.Cycles) {
+	defer n.call(c)()
+	n.d.ArmTimer(c, deadline)
+}
+
+// ContextSwitch loads CR3 through the object table.
+func (n *Native) ContextSwitch(c *hw.CPU, root hw.PFN) {
+	defer n.call(c)()
+	n.d.ContextSwitch(c, root)
+}
+
+// WritePTE stores the entry, mirroring it into the VMM under active
+// tracking.
+func (n *Native) WritePTE(c *hw.CPU, table hw.PFN, idx int, e hw.PTE) {
+	defer n.call(c)()
+	n.Stats.PTEWrites.Add(1)
+	if n.Track != nil {
+		if err := n.Track.V.MirrorPTEWrite(c, n.Track.D,
+			xen.MMUUpdate{Table: table, Index: idx, New: e}); err != nil {
+			panic(fmt.Sprintf("vo: active tracking diverged: %v", err))
+		}
+		return
+	}
+	c.Charge(n.d.M.Costs.PTEWriteNative)
+	hw.WritePTE(n.d.M.Mem, table, idx, e)
+}
+
+// WritePTEBatch stores each entry (mirroring under active tracking).
+func (n *Native) WritePTEBatch(c *hw.CPU, batch []xen.MMUUpdate) {
+	defer n.call(c)()
+	n.Stats.PTEWrites.Add(uint64(len(batch)))
+	for _, u := range batch {
+		if n.Track != nil {
+			if err := n.Track.V.MirrorPTEWrite(c, n.Track.D, u); err != nil {
+				panic(fmt.Sprintf("vo: active tracking diverged: %v", err))
+			}
+			continue
+		}
+		c.Charge(n.d.M.Costs.PTEWriteNative)
+		hw.WritePTE(n.d.M.Mem, u.Table, u.Index, u.New)
+	}
+}
+
+// RegisterRoot pins the root in the mirror under active tracking.
+func (n *Native) RegisterRoot(c *hw.CPU, root hw.PFN) {
+	defer n.call(c)()
+	if n.Track != nil {
+		if err := n.Track.V.MirrorPinRoot(c, n.Track.D, root); err != nil {
+			panic(fmt.Sprintf("vo: active tracking pin: %v", err))
+		}
+	}
+}
+
+// ReleaseRoot unpins the root in the mirror under active tracking.
+func (n *Native) ReleaseRoot(c *hw.CPU, root hw.PFN) {
+	defer n.call(c)()
+	if n.Track != nil {
+		if err := n.Track.V.MirrorUnpinRoot(c, n.Track.D, root); err != nil {
+			panic(fmt.Sprintf("vo: active tracking unpin: %v", err))
+		}
+	}
+}
+
+// FlushTLB flushes through the object table.
+func (n *Native) FlushTLB(c *hw.CPU) {
+	defer n.call(c)()
+	n.d.FlushTLB(c)
+}
+
+// InvalidatePage executes invlpg through the object table.
+func (n *Native) InvalidatePage(c *hw.CPU, va hw.VirtAddr) {
+	defer n.call(c)()
+	n.d.InvalidatePage(c, va)
+}
+
+var _ Object = (*Native)(nil)

@@ -1,0 +1,152 @@
+package vo
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// TestObjectSurfaceParity drives every operation of all three object
+// implementations and checks the mode-independent postconditions: the
+// same kernel code must behave identically behind any of them (§4.3's
+// semantic-equivalence requirement).
+func TestObjectSurfaceParity(t *testing.T) {
+	type env struct {
+		name string
+		obj  Object
+		c    *hw.CPU
+		m    *hw.Machine
+	}
+	var envs []env
+
+	// Direct and Native share a bare-hardware machine each.
+	{
+		m, c := nativeEnv()
+		envs = append(envs, env{"direct", NewDirect(m), c, m})
+	}
+	{
+		m, c := nativeEnv()
+		envs = append(envs, env{"native", NewNative(m), c, m})
+	}
+	{
+		v, d, c := virtualEnv(t)
+		envs = append(envs, env{"virtual", NewVirtual(v, d), c, v.M})
+	}
+
+	for _, e := range envs {
+		t.Run(e.name, func(t *testing.T) {
+			o, c, m := e.obj, e.c, e.m
+			if o.Name() == "" {
+				t.Error("empty name")
+			}
+			if o.Virtualized() != (e.name == "virtual") {
+				t.Error("Virtualized() wrong")
+			}
+
+			// Interrupt control round trip.
+			o.SetInterrupts(c, false)
+			o.SetInterrupts(c, true)
+
+			// Trap table installation: a handler must be reachable via
+			// the hardware afterwards (directly or by bounce).
+			idt := hw.NewIDT("guest")
+			hits := 0
+			idt.Set(hw.VecPageFault, hw.Gate{Present: true, Target: hw.PL0,
+				Handler: func(cc *hw.CPU, f *hw.TrapFrame) { hits++; f.Skip = true }})
+			o.LoadInterruptTable(c, idt)
+
+			// Timer programming.
+			o.ArmTimer(c, c.Now()+1_000_000)
+			if _, armed := c.LAPIC.NextTimerDeadline(); !armed {
+				t.Error("timer not armed")
+			}
+			c.LAPIC.DisarmTimer()
+
+			// Build a small live tree through the object.
+			alloc := func() hw.PFN {
+				pfn := allocFor(e, m)
+				m.Mem.ZeroFrame(pfn)
+				return pfn
+			}
+			root := alloc()
+			o.RegisterRoot(c, root)
+			pt := alloc()
+			o.WritePTE(c, root, 0, hw.MakePTE(pt, hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+			batch := []xen.MMUUpdate{
+				{Table: pt, Index: 0, New: hw.MakePTE(alloc(), hw.PTEPresent|hw.PTEUser)},
+				{Table: pt, Index: 1, New: hw.MakePTE(alloc(), hw.PTEPresent|hw.PTEUser)},
+			}
+			o.WritePTEBatch(c, batch)
+
+			// The hardware walker agrees regardless of implementation.
+			o.ContextSwitch(c, root)
+			if c.ReadCR3() == 0 {
+				t.Error("context switch did not install a root")
+			}
+			w, ok := hw.Walk(m.Mem, root, 0)
+			if !ok || w.PTE.Frame() != batch[0].New.Frame() {
+				t.Errorf("walk after batch = %+v, %v", w, ok)
+			}
+
+			o.InvalidatePage(c, 0)
+			o.FlushTLB(c)
+			o.ReleaseRoot(c, root)
+			if o.Refs() != 0 {
+				t.Errorf("refs leaked: %d", o.Refs())
+			}
+			_ = hits
+		})
+	}
+}
+
+// allocFor allocates from the right partition for an environment.
+func allocFor(e struct {
+	name string
+	obj  Object
+	c    *hw.CPU
+	m    *hw.Machine
+}, m *hw.Machine) hw.PFN {
+	if v, ok := e.obj.(*Virtual); ok {
+		return v.D.Frames.Alloc()
+	}
+	return m.Frames.Alloc()
+}
+
+// TestDirectBatchAndRoots covers the remaining Direct surface.
+func TestDirectBatchAndRoots(t *testing.T) {
+	m, c := nativeEnv()
+	o := NewDirect(m)
+	table := m.Frames.Alloc()
+	o.WritePTEBatch(c, []xen.MMUUpdate{
+		{Table: table, Index: 0, New: hw.MakePTE(9, hw.PTEPresent)},
+		{Table: table, Index: 1, New: hw.MakePTE(10, hw.PTEPresent)},
+	})
+	if hw.ReadPTE(m.Mem, table, 1).Frame() != 10 {
+		t.Fatal("batch not applied")
+	}
+	o.RegisterRoot(c, table) // no-ops on bare hardware
+	o.ReleaseRoot(c, table)
+	o.FlushTLB(c)
+	o.InvalidatePage(c, 0x1000)
+	o.ArmTimer(c, c.Now()+100)
+	if o.Stats.PTEWrites.Load() != 2 {
+		t.Fatalf("stats: %d pte writes", o.Stats.PTEWrites.Load())
+	}
+}
+
+// TestNativeContextSwitchLoadsCR3 covers the native switch path.
+func TestNativeContextSwitchLoadsCR3(t *testing.T) {
+	m, c := nativeEnv()
+	o := NewNative(m)
+	root := m.Frames.Alloc()
+	o.ContextSwitch(c, root)
+	if c.ReadCR3() != root {
+		t.Fatal("CR3 not loaded")
+	}
+	flushes := c.TLB.Flushes
+	o.FlushTLB(c)
+	if c.TLB.Flushes != flushes+1 {
+		t.Fatal("TLB not flushed")
+	}
+}

@@ -1,0 +1,136 @@
+package vo
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// Virtual is the virtual-mode virtualization object: every sensitive
+// operation invokes the VMM's interface (hypercalls in Xen terms) instead
+// of touching hardware, because the kernel now runs deprivileged at PL1
+// (§3.2.1, §5.3).
+type Virtual struct {
+	V *xen.VMM
+	D *xen.Domain
+	// TrapEmulate routes single-entry stores through the VMM's
+	// trap-and-emulation path instead of explicit hypercalls — the
+	// §5.3 alternative for code kept outside the VO. Batches still use
+	// mmu_update.
+	TrapEmulate bool
+	refcount
+	Stats Stats
+}
+
+// NewVirtual returns the virtual-mode object for domain d.
+func NewVirtual(v *xen.VMM, d *xen.Domain) *Virtual {
+	return &Virtual{V: v, D: d}
+}
+
+func (o *Virtual) call(c *hw.CPU) func() {
+	o.Stats.Calls.Add(1)
+	o.enter() // count first: the charges below may deliver interrupts
+	c.Charge(o.V.M.Costs.VOIndirect + o.V.M.Costs.VORefCount)
+	return o.exit
+}
+
+// Name identifies the object.
+func (o *Virtual) Name() string { return "virtual" }
+
+// Virtualized reports true.
+func (o *Virtual) Virtualized() bool { return true }
+
+// SetInterrupts toggles the virtual interrupt flag — a cheap shared-
+// memory write, the paravirtual replacement for cli/sti.
+func (o *Virtual) SetInterrupts(c *hw.CPU, on bool) {
+	defer o.call(c)()
+	o.V.SetVIF(c, o.D, on)
+}
+
+// LoadInterruptTable registers the kernel's handlers with the VMM
+// (set_trap_table): the hardware IDT stays the VMM's.
+func (o *Virtual) LoadInterruptTable(c *hw.CPU, t *hw.IDT) {
+	defer o.call(c)()
+	entries := make([]xen.TrapEntry, 0, 16)
+	for v := 0; v < hw.NumVectors; v++ {
+		g := t.Get(v)
+		if g.Present {
+			entries = append(entries, xen.TrapEntry{Vector: v, Handler: g.Handler})
+		}
+	}
+	o.V.HypSetTrapTable(c, o.D, entries)
+}
+
+// ArmTimer programs the timer via the VMM.
+func (o *Virtual) ArmTimer(c *hw.CPU, deadline hw.Cycles) {
+	defer o.call(c)()
+	o.V.HypSetTimer(c, o.D, deadline)
+}
+
+// ContextSwitch performs the paravirtual context switch: stack switch
+// plus new page-directory base in one multicall.
+func (o *Virtual) ContextSwitch(c *hw.CPU, root hw.PFN) {
+	defer o.call(c)()
+	if err := o.V.HypContextSwitch(c, o.D, root); err != nil {
+		panic(fmt.Sprintf("vo: context switch hypercall: %v", err))
+	}
+}
+
+// WritePTE issues a single-entry update: an explicit mmu_update
+// hypercall, or — under TrapEmulate — a direct store that faults into
+// the VMM and is emulated there.
+func (o *Virtual) WritePTE(c *hw.CPU, table hw.PFN, idx int, e hw.PTE) {
+	defer o.call(c)()
+	o.Stats.PTEWrites.Add(1)
+	u := xen.MMUUpdate{Table: table, Index: idx, New: e}
+	var err error
+	if o.TrapEmulate {
+		err = o.V.EmulatePTEWrite(c, o.D, u)
+	} else {
+		err = o.V.HypMMUUpdate(c, o.D, []xen.MMUUpdate{u})
+	}
+	if err != nil {
+		panic(fmt.Sprintf("vo: mmu_update: %v", err))
+	}
+}
+
+// WritePTEBatch issues one mmu_update for the whole batch: one world
+// switch amortized over every entry.
+func (o *Virtual) WritePTEBatch(c *hw.CPU, batch []xen.MMUUpdate) {
+	defer o.call(c)()
+	o.Stats.PTEWrites.Add(uint64(len(batch)))
+	if err := o.V.HypMMUUpdate(c, o.D, batch); err != nil {
+		panic(fmt.Sprintf("vo: mmu_update batch: %v", err))
+	}
+}
+
+// RegisterRoot pins the new tree.
+func (o *Virtual) RegisterRoot(c *hw.CPU, root hw.PFN) {
+	defer o.call(c)()
+	if err := o.V.HypPinTable(c, o.D, root); err != nil {
+		panic(fmt.Sprintf("vo: pin root: %v", err))
+	}
+}
+
+// ReleaseRoot unpins a retired tree.
+func (o *Virtual) ReleaseRoot(c *hw.CPU, root hw.PFN) {
+	defer o.call(c)()
+	if err := o.V.HypUnpinTable(c, o.D, root); err != nil {
+		panic(fmt.Sprintf("vo: unpin root: %v", err))
+	}
+}
+
+// FlushTLB flushes via the VMM.
+func (o *Virtual) FlushTLB(c *hw.CPU) {
+	defer o.call(c)()
+	o.V.HypTLBFlush(c, o.D)
+}
+
+// InvalidatePage invalidates via the VMM.
+func (o *Virtual) InvalidatePage(c *hw.CPU, va hw.VirtAddr) {
+	defer o.call(c)()
+	o.V.HypInvlpg(c, o.D, va)
+}
+
+var _ Object = (*Virtual)(nil)

@@ -1,0 +1,91 @@
+// Package vo implements the paper's central abstraction, the
+// Virtualization Object (§4.2, §5.3): all virtualization-sensitive code
+// and data grouped behind one function/data table, with separate
+// implementations for an OS on bare hardware and an OS on the VMM.
+// Relocating the kernel between execution modes is then a matter of
+// swapping the object pointer — which is exactly what Mercury's mode
+// switch does.
+//
+// Three implementations exist:
+//
+//   - Direct: the ops an *unmodified* native kernel performs (the N-L
+//     baseline). No indirection, no reference counting.
+//   - Native: Mercury's native-mode object — the same direct hardware
+//     manipulation, but invoked through the object table and reference
+//     counted on entry/exit so a mode switch can tell when it is safe to
+//     commit (§5.1.1). Optionally mirrors page-table stores into the
+//     pre-cached VMM's frame table (the active-tracking policy, §5.1.2).
+//   - Virtual: Mercury's virtual-mode object — every sensitive operation
+//     becomes a hypercall into the VMM.
+package vo
+
+import (
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// Object is the virtualization object's function table. Sensitive CPU
+// operations manipulate privileged processor state; sensitive memory
+// operations modify page tables. (Sensitive I/O operations live in the
+// guest's driver layer, which is likewise swapped per mode — the split
+// frontend/backend drivers of §5.2.)
+type Object interface {
+	// Name identifies the object instance ("direct", "native", "virtual").
+	Name() string
+	// Virtualized reports whether operations are mediated by a VMM.
+	Virtualized() bool
+	// Refs returns the number of in-flight operations; Mercury commits a
+	// mode switch only when this is zero (§5.1.1).
+	Refs() int64
+
+	// --- sensitive CPU operations ---
+
+	// SetInterrupts enables or disables interrupt delivery (cli/sti, or
+	// the virtual interrupt flag under a VMM).
+	SetInterrupts(c *hw.CPU, on bool)
+	// LoadInterruptTable installs the kernel's trap handlers: directly in
+	// the hardware IDT, or registered with the VMM for bouncing.
+	LoadInterruptTable(c *hw.CPU, t *hw.IDT)
+	// ArmTimer programs the next timer interrupt.
+	ArmTimer(c *hw.CPU, deadline hw.Cycles)
+	// ContextSwitch installs a new address-space root (and kernel stack).
+	ContextSwitch(c *hw.CPU, root hw.PFN)
+
+	// --- sensitive memory operations ---
+
+	// WritePTE stores one page-table entry.
+	WritePTE(c *hw.CPU, table hw.PFN, idx int, e hw.PTE)
+	// WritePTEBatch stores many entries; under a VMM the whole batch
+	// costs one world switch (mmu_update with multiple entries).
+	WritePTEBatch(c *hw.CPU, batch []xen.MMUUpdate)
+	// RegisterRoot announces a fully built page-directory tree before its
+	// first use (pinning, under a VMM or active tracking).
+	RegisterRoot(c *hw.CPU, root hw.PFN)
+	// ReleaseRoot retires a tree after its last use.
+	ReleaseRoot(c *hw.CPU, root hw.PFN)
+	// FlushTLB flushes local translations.
+	FlushTLB(c *hw.CPU)
+	// InvalidatePage drops one local translation.
+	InvalidatePage(c *hw.CPU, va hw.VirtAddr)
+}
+
+// Stats counts operations through a virtualization object.
+type Stats struct {
+	Calls     atomic.Uint64
+	PTEWrites atomic.Uint64
+}
+
+// refcount implements the entry/exit reference counting shared by the
+// Mercury objects. Operations are non-blocking and short (§5.1.1), so
+// the count is almost always observed at zero.
+type refcount struct {
+	n atomic.Int64
+}
+
+func (r *refcount) enter() { r.n.Add(1) }
+func (r *refcount) exit()  { r.n.Add(-1) }
+
+// Refs returns the number of in-flight operations.
+func (r *refcount) Refs() int64 { return r.n.Load() }

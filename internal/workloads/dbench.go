@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// Dbench reproduces the strict I/O-bound dbench 3.03 workload: a set of
+// client processes each running a netbench-style file mix — create,
+// sequential 8 KB writes, reads back through the page cache, stat and
+// delete — with the filesystem's writeback pushing batched blocks at
+// the block driver. The result is a throughput score, so *lower elapsed
+// cycles = higher score*.
+type DbenchResult struct {
+	Cycles     hw.Cycles
+	BytesMoved uint64
+	// MBps is the throughput score at the simulated clock.
+	MBps float64
+}
+
+// Dbench geometry.
+const (
+	dbenchClients    = 4
+	dbenchFiles      = 24
+	dbenchFileKB     = 64
+	dbenchChunkKB    = 8
+	dbenchReadBackKB = 32
+)
+
+// Dbench runs the workload on the target.
+func Dbench(t *Target) DbenchResult {
+	var res DbenchResult
+	t.Run("dbench", func(init *guest.Proc) {
+		k := init.K
+		init.Syscall(func(c *hw.CPU) {
+			if _, err := k.FS.Mkdir(c, "/dbench"); err != nil {
+				panic(err)
+			}
+		})
+		start := init.CPU().Now()
+		for cl := 0; cl < dbenchClients; cl++ {
+			cl := cl
+			init.Fork("dbench-client", func(p *guest.Proc) {
+				dir := fmt.Sprintf("/dbench/c%d", cl)
+				p.Syscall(func(c *hw.CPU) {
+					if _, err := p.K.FS.Mkdir(c, dir); err != nil {
+						panic(err)
+					}
+				})
+				for f := 0; f < dbenchFiles; f++ {
+					path := fmt.Sprintf("%s/f%d", dir, f)
+					fd, err := p.Creat(path)
+					if err != nil {
+						panic(err)
+					}
+					for off := 0; off < dbenchFileKB; off += dbenchChunkKB {
+						p.Write(fd, dbenchChunkKB<<10)
+					}
+					p.Close(fd)
+					fd, err = p.Open(path)
+					if err != nil {
+						panic(err)
+					}
+					p.Read(fd, dbenchReadBackKB<<10)
+					p.Close(fd)
+					if _, err := p.Stat(path); err != nil {
+						panic(err)
+					}
+					if f%2 == 1 {
+						if err := p.Unlink(path); err != nil {
+							panic(err)
+						}
+					}
+				}
+				p.Exit(0)
+			})
+		}
+		for cl := 0; cl < dbenchClients; cl++ {
+			init.Wait()
+		}
+		// Final sync, as dbench's cleanup does.
+		init.Syscall(func(c *hw.CPU) { k.FS.Sync(c) })
+		res.Cycles = init.CPU().Now() - start
+	})
+	res.BytesMoved = uint64(dbenchClients*dbenchFiles) *
+		uint64(dbenchFileKB+dbenchReadBackKB) << 10
+	sec := float64(res.Cycles) / float64(t.M.Hz)
+	res.MBps = float64(res.BytesMoved) / (1 << 20) / sec
+	return res
+}

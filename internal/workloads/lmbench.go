@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// LmbenchResult holds the nine OS-related lmbench latencies the paper
+// reports (Tables 1 and 2), in microseconds.
+type LmbenchResult struct {
+	ForkProc  float64 // lat_proc fork
+	ExecProc  float64 // lat_proc exec
+	ShProc    float64 // lat_proc shell
+	Ctx2p0k   float64 // lat_ctx -s 0 2
+	Ctx16p16k float64 // lat_ctx -s 16 16
+	Ctx16p64k float64 // lat_ctx -s 64 16
+	MmapLT    float64 // lat_mmap (large mapping)
+	ProtFault float64 // lat_sig prot
+	PageFault float64 // lat_pagefault
+}
+
+// Rows returns the results in the paper's row order with row labels.
+func (r LmbenchResult) Rows() ([]string, []float64) {
+	return []string{
+			"Fork Process", "Exec Process", "Sh Process",
+			"Ctx (2p/0k)", "Ctx (16p/16k)", "Ctx (16p/64k)",
+			"Mmap LT", "Prot Fault", "Page Fault",
+		}, []float64{
+			r.ForkProc, r.ExecProc, r.ShProc,
+			r.Ctx2p0k, r.Ctx16p16k, r.Ctx16p64k,
+			r.MmapLT, r.ProtFault, r.PageFault,
+		}
+}
+
+// Benchmark iteration counts: small enough to run fast, large enough to
+// average out scheduling noise.
+const (
+	forkIters = 12
+	execIters = 10
+	shIters   = 6
+	ctxRounds = 40
+	mmapIters = 3
+	protIters = 200
+	pfIters   = 200
+	mmapPages = 3072 // 12 MB mapping, lat_mmap's upper sizes
+	pfPages   = 448  // pages faulted per page-fault round
+)
+
+// helloImage is the small program exec'd by lat_proc exec/shell.
+func helloImage() guest.Image {
+	return guest.Image{Name: "hello", TextPages: 120, DataPages: 60, StackPages: 8}
+}
+
+// shImage is /bin/sh.
+func shImage() guest.Image {
+	return guest.Image{Name: "sh", TextPages: 210, DataPages: 150, StackPages: 16}
+}
+
+// shellStartup models the shell's own work before running the command:
+// reading rc files and searching PATH (stat-heavy), plus parsing.
+func shellStartup(sh *guest.Proc) {
+	k := sh.K
+	sh.Syscall(func(c *hw.CPU) {
+		if _, err := k.FS.Stat(c, "/bin/sh"); err != nil {
+			_, _ = k.FS.Create(c, "/bin/sh.rc")
+		}
+	})
+	for i := 0; i < 24; i++ {
+		_, _ = sh.Stat("/bin/hello")
+	}
+	sh.Work(160_000)
+}
+
+// Lmbench runs the full microbenchmark suite on the target.
+func Lmbench(t *Target) LmbenchResult {
+	var r LmbenchResult
+	t.Run("lmbench", func(p *guest.Proc) {
+		img := guest.DefaultImage("lmbench")
+		warmup(p, img)
+		r.ForkProc = t.Micros(latFork(p))
+		r.ExecProc = t.Micros(latExec(p))
+		r.ShProc = t.Micros(latSh(p))
+		r.MmapLT = t.Micros(latMmap(p))
+		r.ProtFault = t.Micros(latProtFault(p))
+		r.PageFault = t.Micros(latPageFault(p))
+	})
+	// The context-switch rings manage their own process sets.
+	r.Ctx2p0k = t.Micros(latCtx(t, 2, 0))
+	r.Ctx16p16k = t.Micros(latCtx(t, 16, 4))
+	r.Ctx16p64k = t.Micros(latCtx(t, 16, 16))
+	return r
+}
+
+// latFork measures fork+exit+wait of a child that does nothing — the
+// cost is dominated by cloning the parent's resident address space.
+func latFork(p *guest.Proc) hw.Cycles {
+	return timeit(p, forkIters, func() {
+		p.Fork("child", func(cp *guest.Proc) { cp.Exit(0) })
+		p.Wait()
+	})
+}
+
+// latExec measures fork + exec of the hello program.
+func latExec(p *guest.Proc) hw.Cycles {
+	return timeit(p, execIters, func() {
+		p.Fork("execer", func(cp *guest.Proc) {
+			cp.Exec(helloImage())
+			cp.Exit(0)
+		})
+		p.Wait()
+	})
+}
+
+// latSh measures fork + exec of /bin/sh, which itself forks and execs
+// hello (lmbench's lat_proc shell).
+func latSh(p *guest.Proc) hw.Cycles {
+	return timeit(p, shIters, func() {
+		p.Fork("sh", func(sh *guest.Proc) {
+			sh.Exec(shImage())
+			shellStartup(sh) // rc files, PATH search
+			sh.Fork("hello", func(h *guest.Proc) {
+				h.Exec(helloImage())
+				h.Exit(0)
+			})
+			sh.Wait()
+			sh.Exit(0)
+		})
+		p.Wait()
+	})
+}
+
+// latCtx measures one hop of the lmbench token-passing ring: nproc
+// processes connected by pipes, each touching wsPages of private
+// working set per activation.
+func latCtx(t *Target, nproc, wsPages int) hw.Cycles {
+	var perSwitch hw.Cycles
+	t.Run("lat_ctx", func(init *guest.Proc) {
+		k := init.K
+		pipes := make([]*guest.Pipe, nproc)
+		for i := range pipes {
+			pipes[i] = k.NewPipe()
+		}
+		// Cold cache lines per page beyond the L1 (64 KB working sets
+		// spill; 16 KB mostly does not).
+		var cold hw.Cycles
+		if nproc*wsPages*hw.PageSize > 256<<10 {
+			cold = 1000
+		}
+		done := k.NewPipe()
+		ready := k.NewPipe()
+		for i := 0; i < nproc; i++ {
+			i := i
+			init.Fork("ring", func(rp *guest.Proc) {
+				// Private working set, populated before timing starts.
+				var ws hw.VirtAddr
+				if wsPages > 0 {
+					ws = rp.Mmap(wsPages, guest.ProtRead|guest.ProtWrite, true)
+				}
+				rp.PipeWrite(ready, 1)
+				in, out := pipes[i], pipes[(i+1)%nproc]
+				for round := 0; round < ctxRounds; round++ {
+					rp.PipeRead(in, 1)
+					if wsPages > 0 {
+						rp.AS.TouchWorkingSet(rp.CPU(), ws, wsPages, cold)
+					}
+					rp.PipeWrite(out, 1)
+				}
+				rp.PipeWrite(done, 1)
+				rp.Exit(0)
+			})
+		}
+		// Wait for every ring process to be parked on its pipe.
+		init.PipeRead(ready, nproc)
+		init.Yield() // let the last writer reach its read
+		// Inject the token and time the rounds.
+		start := init.CPU().Now()
+		init.PipeWrite(pipes[0], 1)
+		for i := 0; i < nproc; i++ {
+			init.PipeRead(done, 1)
+		}
+		elapsed := init.CPU().Now() - start
+		perSwitch = elapsed / hw.Cycles(nproc*ctxRounds)
+		for i := 0; i < nproc; i++ {
+			init.Wait()
+		}
+	})
+	return perSwitch
+}
+
+// latMmap measures mapping, touching and unmapping a large anonymous
+// region (lat_mmap's large sizes).
+func latMmap(p *guest.Proc) hw.Cycles {
+	return timeit(p, mmapIters, func() {
+		// Demand-paged, as lat_mmap's access pattern is: every page
+		// faults in on first touch.
+		base := p.Mmap(mmapPages, guest.ProtRead|guest.ProtWrite, false)
+		p.Touch(base, mmapPages, true)
+		p.Munmap(base)
+	})
+}
+
+// latProtFault measures catching a protection fault: writing a
+// read-only page delivers SIGSEGV; the handler skips the faulting
+// instruction (lmbench's lat_sig prot).
+func latProtFault(p *guest.Proc) hw.Cycles {
+	base := p.Mmap(1, guest.ProtRead|guest.ProtWrite, true)
+	p.Mprotect(base, guest.ProtRead)
+	p.SegvHandler = func(sp *guest.Proc, f *hw.TrapFrame) bool {
+		f.Skip = true
+		return true
+	}
+	defer func() { p.SegvHandler = nil }()
+	return timeit(p, protIters, func() {
+		p.Touch(base, 1, true) // aborted by the handler
+	})
+}
+
+// latPageFault measures a soft file page fault: touching a page of a
+// mapped, already-cached file (lmbench's lat_pagefault).
+func latPageFault(p *guest.Proc) hw.Cycles {
+	k := p.K
+	// Build and warm the cache for a file big enough for the rounds.
+	var ino *guest.Inode
+	var err error
+	p.Syscall(func(c *hw.CPU) {
+		ino, err = k.FS.Create(c, "/pf.data")
+		if err != nil {
+			panic(err)
+		}
+		k.FS.WriteAt(c, ino, 0, pfPages*hw.PageSize)
+	})
+	per := timeit(p, pfIters, func() {
+		base := p.MmapFile(ino, pfPages)
+		p.Touch(base, pfPages, false)
+		p.Munmap(base)
+	})
+	// Per-page latency: the mapping overhead is shared across pfPages
+	// faults; lat_pagefault reports the per-fault time.
+	return per / hw.Cycles(pfPages)
+}

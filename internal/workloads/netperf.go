@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// Ping and Iperf against the synthetic remote endpoint on the wire
+// (§7.1: ping on the 100 Mb LAN; Iperf client/server across a Gigabit
+// switch).
+
+// PingResult is the average round-trip time.
+type PingResult struct {
+	AvgRTTCycles hw.Cycles
+	AvgRTTMicros float64
+}
+
+const pingCount = 24
+
+// Ping measures ICMP-style echo round trips.
+func Ping(t *Target) PingResult {
+	var res PingResult
+	t.Run("ping", func(p *guest.Proc) {
+		var total hw.Cycles
+		for i := 0; i < pingCount; i++ {
+			total += p.Ping(t.RemoteID, 56)
+		}
+		res.AvgRTTCycles = total / pingCount
+	})
+	res.AvgRTTMicros = t.Micros(res.AvgRTTCycles)
+	return res
+}
+
+// IperfResult is the achieved stream bandwidth.
+type IperfResult struct {
+	Bytes  uint64
+	Cycles hw.Cycles // sender-side elapsed (CPU- or wire-limited)
+	Mbps   float64
+}
+
+// Iperf stream geometry: MTU-sized datagrams.
+const (
+	iperfFrameBytes = 1470
+	iperfFrames     = 600
+	// IperfTCPAckWindow is the ack window for the TCP-like run; the
+	// system must be built with a reflector acking at this interval.
+	IperfTCPAckWindow = 16
+)
+
+// Iperf streams data to the remote. ackWindow > 0 adds TCP-like ack
+// processing every ackWindow frames (the reflector must be configured
+// with the same window); 0 is the UDP run.
+func Iperf(t *Target, ackWindow int) IperfResult {
+	var res IperfResult
+	t.Run("iperf", func(p *guest.Proc) {
+		start := p.CPU().Now()
+		for i := 1; i <= iperfFrames; i++ {
+			p.SendFrame(guest.Frame{
+				Dst: t.RemoteID, Proto: guest.ProtoData, Payload: iperfFrameBytes,
+			})
+			if ackWindow > 0 && i%ackWindow == 0 {
+				p.RecvFrame(guest.ProtoAck)
+			}
+		}
+		cpu := p.CPU().Now() - start
+		// The sender cannot beat the wire: if CPU time per frame is
+		// below serialization time, the NIC throttles transmission.
+		wire := t.M.NIC.WireCycles(iperfFrames * (iperfFrameBytes + 3))
+		if wire > cpu {
+			cpu = wire
+		}
+		res.Cycles = cpu
+	})
+	res.Bytes = uint64(iperfFrames) * iperfFrameBytes
+	sec := float64(res.Cycles) / float64(t.M.Hz)
+	res.Mbps = float64(res.Bytes) * 8 / 1e6 / sec
+	return res
+}

@@ -1,0 +1,48 @@
+// Package workloads implements the benchmark programs of the paper's
+// evaluation (§7): the OS-related lmbench 3.0 microbenchmarks (Tables
+// 1–2), and the application-level suite of Figures 3–4 — OSDB-IR,
+// dbench, Linux kernel build, ping and Iperf. Each workload is written
+// against the guest kernel's process API, so the same program runs
+// unchanged on all six system configurations; the configurations differ
+// only in which virtualization object and drivers sit underneath.
+package workloads
+
+import (
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// Target is the system under test, as the workloads see it.
+type Target struct {
+	K *guest.Kernel
+	M *hw.Machine
+	// Run spawns an init process and drives the scheduler until every
+	// process has exited.
+	Run func(name string, body guest.Body)
+	// RemoteID is the link-layer address of the synthetic remote host.
+	RemoteID byte
+}
+
+// Micros converts cycles to microseconds on the target machine.
+func (t *Target) Micros(n hw.Cycles) float64 { return t.M.Micros(n) }
+
+// warmup gives the calling process the standard resident set of the
+// lmbench binary: its text and data pages are faulted in, so subsequent
+// forks copy a realistic number of page-table entries.
+func warmup(p *guest.Proc, img guest.Image) {
+	textEnd := guest.TextBase + hw.VirtAddr(img.TextPages<<hw.PageShift)
+	p.Touch(guest.TextBase, img.TextPages, false)
+	p.Touch(textEnd, img.DataPages, true)
+}
+
+// timeit measures the average cycles per iteration of fn.
+func timeit(p *guest.Proc, iters int, fn func()) hw.Cycles {
+	start := p.CPU().Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	// The process may have migrated CPUs mid-benchmark under SMP; both
+	// clocks advance monotonically and benchmarks are long relative to
+	// any skew.
+	return (p.CPU().Now() - start) / hw.Cycles(iters)
+}

@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/hw"
+	"repro/internal/vo"
+)
+
+// nativeTarget builds an N-L-style target without importing the bench
+// package (no import cycle: bench imports workloads).
+func nativeTarget(t *testing.T) *Target {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 128 << 20, NumCPUs: 1})
+	m.NIC.Reflector = guest.EchoReflector(1, IperfTCPAckWindow)
+	m.NIC.ReflectDelay = 18_000
+	k, err := guest.Boot(m, guest.Config{Name: "nl", VO: vo.NewDirect(m), Frames: m.Frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Blk = &guest.NativeBlock{K: k, Disk: m.Disk}
+	k.Net = &guest.NativeNet{K: k, NIC: m.NIC}
+	k.SetNetID(1)
+	return &Target{
+		K: k, M: m, RemoteID: 2,
+		Run: func(name string, body guest.Body) {
+			boot := m.BootCPU()
+			k.Spawn(boot, name, guest.DefaultImage(name), body)
+			k.Run(boot)
+		},
+	}
+}
+
+func TestLmbenchResultRows(t *testing.T) {
+	r := LmbenchResult{ForkProc: 1, ExecProc: 2, ShProc: 3, Ctx2p0k: 4,
+		Ctx16p16k: 5, Ctx16p64k: 6, MmapLT: 7, ProtFault: 8, PageFault: 9}
+	names, vals := r.Rows()
+	if len(names) != 9 || len(vals) != 9 {
+		t.Fatalf("rows: %d names, %d values", len(names), len(vals))
+	}
+	for i, v := range vals {
+		if v != float64(i+1) {
+			t.Fatalf("row %d = %v", i, v)
+		}
+	}
+}
+
+func TestLmbenchAllRowsPositiveAndOrdered(t *testing.T) {
+	r := Lmbench(nativeTarget(t))
+	_, vals := r.Rows()
+	for i, v := range vals {
+		if v <= 0 {
+			t.Fatalf("row %d nonpositive: %v", i, v)
+		}
+	}
+	// Structural orderings lmbench always shows.
+	if !(r.ForkProc < r.ExecProc && r.ExecProc < r.ShProc) {
+		t.Fatalf("fork < exec < sh violated: %v %v %v", r.ForkProc, r.ExecProc, r.ShProc)
+	}
+	if !(r.Ctx2p0k < r.Ctx16p16k && r.Ctx16p16k < r.Ctx16p64k) {
+		t.Fatalf("ctx ordering violated: %v %v %v", r.Ctx2p0k, r.Ctx16p16k, r.Ctx16p64k)
+	}
+	if r.ProtFault >= r.PageFault {
+		t.Fatalf("prot fault (%v) >= page fault (%v)", r.ProtFault, r.PageFault)
+	}
+}
+
+func TestDbenchMovesData(t *testing.T) {
+	res := Dbench(nativeTarget(t))
+	if res.MBps <= 0 || res.BytesMoved == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	wantBytes := uint64(dbenchClients*dbenchFiles) * uint64(dbenchFileKB+dbenchReadBackKB) << 10
+	if res.BytesMoved != wantBytes {
+		t.Fatalf("bytes moved = %d, want %d", res.BytesMoved, wantBytes)
+	}
+}
+
+func TestOSDBRunsAllQueries(t *testing.T) {
+	res := OSDB(nativeTarget(t))
+	if res.Queries != osdbQueries || res.Cycles == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestKernelBuildCompilesAllUnits(t *testing.T) {
+	tg := nativeTarget(t)
+	res := KernelBuild(tg)
+	if res.Units != kbuildUnits || res.Cycles == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	// The object files exist.
+	boot := tg.M.BootCPU()
+	if _, err := tg.K.FS.Stat(boot, "/obj0.o"); err != nil {
+		t.Fatalf("missing object file: %v", err)
+	}
+}
+
+func TestPingPlausibleRTT(t *testing.T) {
+	res := Ping(nativeTarget(t))
+	// Two 37 us wire crossings plus stacks: a LAN-scale RTT.
+	if res.AvgRTTMicros < 75 || res.AvgRTTMicros > 1000 {
+		t.Fatalf("RTT = %v us", res.AvgRTTMicros)
+	}
+}
+
+func TestIperfWireLimitAndAcks(t *testing.T) {
+	tgUDP := nativeTarget(t)
+	tgUDP.M.NIC.SetLink(hw.Gigabit())
+	udp := Iperf(tgUDP, 0)
+	if udp.Mbps <= 0 || udp.Mbps > 1000 {
+		t.Fatalf("UDP = %v Mb/s", udp.Mbps)
+	}
+	tgTCP := nativeTarget(t)
+	tgTCP.M.NIC.SetLink(hw.Gigabit())
+	tcp := Iperf(tgTCP, IperfTCPAckWindow)
+	if tcp.Mbps <= 0 || tcp.Mbps > udp.Mbps+1 {
+		t.Fatalf("TCP %v vs UDP %v", tcp.Mbps, udp.Mbps)
+	}
+}
+
+func TestIperf100MbIsWireLimited(t *testing.T) {
+	tg := nativeTarget(t) // default 100 Mb LAN
+	res := Iperf(tg, 0)
+	if res.Mbps > 101 {
+		t.Fatalf("exceeded the wire: %v Mb/s", res.Mbps)
+	}
+	if res.Mbps < 85 {
+		t.Fatalf("native sender should saturate 100 Mb: %v Mb/s", res.Mbps)
+	}
+}

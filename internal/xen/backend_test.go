@@ -1,0 +1,188 @@
+package xen
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// backendEnv wires a block backend between two domains without the
+// guest kernel layer, so the backend logic is testable in isolation.
+func backendEnv(t *testing.T) (*VMM, *Domain, *Domain, *hw.CPU, *BlkBackend) {
+	t.Helper()
+	v, d0, dU, c := twoDomains(t)
+	ring := NewRing[BlkRequest, BlkResponse](64, v.M.Costs)
+	be := &BlkBackend{V: v, Dom: d0, Dev: v.M.Disk, Ring: ring}
+	return v, d0, dU, c, be
+}
+
+// grantWrite puts a write request for one granted frame on the ring.
+func grantWrite(c *hw.CPU, v *VMM, dU *Domain, be *BlkBackend, id, block uint64, fill byte) GrantRef {
+	pfn := dU.Frames.Alloc()
+	fb := v.M.Mem.FrameBytes(pfn)
+	for i := range fb {
+		fb[i] = fill
+	}
+	ref := dU.GrantAccess(c, be.Dom.ID, pfn, true)
+	be.Ring.PutRequest(c, BlkRequest{ID: id, Block: block, Write: true, Grant: ref, Front: dU.ID})
+	return ref
+}
+
+func TestBlkBackendWriteReadRoundTrip(t *testing.T) {
+	v, d0, dU, c, be := backendEnv(t)
+	_ = d0
+	grantWrite(c, v, dU, be, 1, 50, 0xAB)
+	be.OnEvent(c)
+	if resp, ok := be.Ring.GetResponse(c); !ok || resp.Err != "" {
+		t.Fatalf("write response: %+v %v", resp, ok)
+	}
+
+	// Read it back into a fresh granted frame.
+	dst := dU.Frames.Alloc()
+	ref := dU.GrantAccess(c, be.Dom.ID, dst, false)
+	be.Ring.PutRequest(c, BlkRequest{ID: 2, Block: 50, Grant: ref, Front: dU.ID})
+	be.OnEvent(c)
+	if resp, ok := be.Ring.GetResponse(c); !ok || resp.Err != "" {
+		t.Fatalf("read response: %+v %v", resp, ok)
+	}
+	if v.M.Mem.FrameBytesRO(dst)[100] != 0xAB {
+		t.Fatal("read data wrong")
+	}
+}
+
+func TestBlkBackendMergesContiguous(t *testing.T) {
+	v, _, dU, c, be := backendEnv(t)
+	for i := uint64(0); i < 8; i++ {
+		grantWrite(c, v, dU, be, i, 100+i, byte(i))
+	}
+	reqsBefore := v.M.Disk.Stats.Requests
+	be.OnEvent(c)
+	if got := v.M.Disk.Stats.Requests - reqsBefore; got != 1 {
+		t.Fatalf("8 contiguous blocks took %d disk requests", got)
+	}
+	if be.Stats.Merges.Load() != 7 {
+		t.Fatalf("merges = %d", be.Stats.Merges.Load())
+	}
+}
+
+func TestBlkBackendWriteBehindAbsorbsAndFlushes(t *testing.T) {
+	v, _, dU, c, be := backendEnv(t)
+	be.WriteBehind = true
+	be.WriteBehindLimit = 4
+
+	diskBefore := v.M.Disk.Stats.Requests
+	for i := uint64(0); i < 3; i++ {
+		grantWrite(c, v, dU, be, i, 10+i, 0x5A)
+		be.OnEvent(c)
+		if _, ok := be.Ring.GetResponse(c); !ok {
+			t.Fatal("write not acked")
+		}
+	}
+	if v.M.Disk.Stats.Requests != diskBefore {
+		t.Fatal("write-behind went to disk early")
+	}
+	if be.Stats.WBAbsorbed.Load() != 3 {
+		t.Fatalf("absorbed = %d", be.Stats.WBAbsorbed.Load())
+	}
+	// A read of an absorbed block must see the cached data.
+	dst := dU.Frames.Alloc()
+	ref := dU.GrantAccess(c, be.Dom.ID, dst, false)
+	be.Ring.PutRequest(c, BlkRequest{ID: 9, Block: 11, Grant: ref, Front: dU.ID})
+	be.OnEvent(c)
+	be.Ring.GetResponse(c)
+	if v.M.Mem.FrameBytesRO(dst)[7] != 0x5A {
+		t.Fatal("read missed the write-behind cache")
+	}
+	// Crossing the limit flushes to disk.
+	grantWrite(c, v, dU, be, 20, 13, 1)
+	be.OnEvent(c)
+	be.Ring.GetResponse(c)
+	if v.M.Disk.Stats.Requests == diskBefore {
+		t.Fatal("limit crossing did not flush")
+	}
+	if be.Stats.WBFlushes.Load() == 0 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestBlkBackendBadGrantFails(t *testing.T) {
+	_, _, dU, c, be := backendEnv(t)
+	be.Ring.PutRequest(c, BlkRequest{ID: 5, Block: 1, Write: true, Grant: 99, Front: dU.ID})
+	be.OnEvent(c)
+	resp, ok := be.Ring.GetResponse(c)
+	if !ok || resp.Err == "" {
+		t.Fatalf("bad grant not failed: %+v %v", resp, ok)
+	}
+}
+
+func TestNetBackendTxAndRx(t *testing.T) {
+	v, d0, dU, c := twoDomains(t)
+	tx := NewRing[NetTxRequest, NetTxResponse](32, v.M.Costs)
+	rx := NewRing[NetRxBuffer, NetRxDone](32, v.M.Costs)
+	var sent [][]byte
+	nb := &NetBackend{V: v, Dom: d0, TxRing: tx, RxRing: rx,
+		Dev: devFunc(func(cc *hw.CPU, data []byte) { sent = append(sent, data) })}
+
+	// Transmit path: granted frame -> device.
+	pfn := dU.Frames.Alloc()
+	copy(v.M.Mem.FrameBytes(pfn), []byte("frame-one"))
+	ref := dU.GrantAccess(c, d0.ID, pfn, true)
+	tx.PutRequest(c, NetTxRequest{ID: 1, Grant: ref, Front: dU.ID, Len: 9})
+	nb.OnEvent(c)
+	if len(sent) != 1 || string(sent[0]) != "frame-one" {
+		t.Fatalf("tx = %q", sent)
+	}
+	if resp, ok := tx.GetResponse(c); !ok || resp.Err != "" {
+		t.Fatalf("tx response: %+v %v", resp, ok)
+	}
+
+	// Receive path: inbound packet -> posted buffer.
+	buf := dU.Frames.Alloc()
+	bref := dU.GrantAccess(c, d0.ID, buf, false)
+	rx.PutRequest(c, NetRxBuffer{ID: 2, Grant: bref, Front: dU.ID})
+	if !nb.DeliverRx(c, []byte("inbound!")) {
+		t.Fatal("rx delivery failed")
+	}
+	done, ok := rx.GetResponse(c)
+	if !ok || done.Err != "" || done.Len != 8 {
+		t.Fatalf("rx done: %+v %v", done, ok)
+	}
+	if string(v.M.Mem.FrameBytesRO(buf)[:8]) != "inbound!" {
+		t.Fatal("rx data wrong")
+	}
+
+	// No posted buffer: drop.
+	if nb.DeliverRx(c, []byte("lost")) {
+		t.Fatal("delivered without a buffer")
+	}
+	if nb.Stats.RxDropped.Load() != 1 {
+		t.Fatalf("drops = %d", nb.Stats.RxDropped.Load())
+	}
+}
+
+// devFunc adapts a function to PacketDevice.
+type devFunc func(c *hw.CPU, data []byte)
+
+func (f devFunc) Transmit(c *hw.CPU, data []byte) { f(c, data) }
+
+func TestMiscHypercalls(t *testing.T) {
+	v, d, c := testVMM(t)
+	v.HypSchedYield(c, d)
+	v.HypStackSwitch(c, d)
+	v.HypSetTimer(c, d, c.Now()+500)
+	if _, armed := c.LAPIC.NextTimerDeadline(); !armed {
+		t.Fatal("HypSetTimer did not arm")
+	}
+	v.HypTLBFlush(c, d)
+	v.HypInvlpg(c, d, 0x1000)
+	tb, _ := buildTree(t, v, d, 1)
+	if err := v.MirrorPinRoot(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MirrorUnpinRoot(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DestroyDomain(99); err == nil {
+		t.Fatal("destroyed nonexistent domain")
+	}
+}

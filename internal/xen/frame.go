@@ -1,0 +1,187 @@
+// Package xen implements the full-fledged VMM substrate Mercury attaches
+// and detaches: domains, hypercalls, per-frame ownership/type/count
+// accounting with direct-mode paging, event channels, grant-mapped shared
+// I/O rings with backend drivers, and a simple domain scheduler. It is a
+// from-scratch reimplementation of the Xen 3.0.x mechanisms the paper's
+// prototype relies on, reduced to the parts that determine behaviour and
+// cost.
+package xen
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// DomID identifies a domain. The driver domain (domain0 in stock Xen, or
+// the self-virtualized Mercury OS) is Dom0.
+type DomID uint16
+
+// Dom0 is the driver domain's ID. DomVMM marks frames owned by the VMM
+// itself (its pre-cached footprint).
+const (
+	Dom0   DomID = 0
+	DomVMM DomID = 0xFFFF
+)
+
+// FrameType is the exclusive use a physical frame is validated for. A
+// frame can be re-typed only when its type count has dropped to zero;
+// this is what guarantees a live page-table page is never writable by a
+// guest (§5.1.2).
+type FrameType uint8
+
+const (
+	FrameNone     FrameType = iota // no validated use
+	FrameWritable                  // mapped writable somewhere
+	FrameL1                        // validated page-table (leaf) page
+	FrameL2                        // validated page-directory page
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameNone:
+		return "none"
+	case FrameWritable:
+		return "writable"
+	case FrameL1:
+		return "L1"
+	case FrameL2:
+		return "L2"
+	}
+	return fmt.Sprintf("type%d", uint8(t))
+}
+
+// FrameInfo is the VMM's bookkeeping for one physical frame: who owns it,
+// what it is validated as, how many references hold that type, and how
+// many references exist at all. This is exactly the state Mercury must
+// refill when a pre-cached VMM is activated (§5.1.2): in native mode the
+// VMM is inert and the table goes stale.
+type FrameInfo struct {
+	Owner     DomID
+	Type      FrameType
+	TypeCount uint32 // references holding the current type
+	TotalRefs uint32 // all references (existence count)
+	Pinned    bool   // explicitly pinned as a page-table root or table
+}
+
+// FrameTable is the VMM's per-frame accounting array.
+type FrameTable struct {
+	info []FrameInfo
+	mem  *hw.PhysMem
+}
+
+// NewFrameTable builds accounting for every frame of mem.
+func NewFrameTable(mem *hw.PhysMem) *FrameTable {
+	return &FrameTable{info: make([]FrameInfo, mem.NumFrames()), mem: mem}
+}
+
+// Get returns a copy of the frame's info.
+func (ft *FrameTable) Get(pfn hw.PFN) FrameInfo { return ft.info[pfn] }
+
+// SetOwner assigns a frame to a domain.
+func (ft *FrameTable) SetOwner(pfn hw.PFN, d DomID) { ft.info[pfn].Owner = d }
+
+// Reset clears type/count state for every frame while preserving
+// ownership. A detach (virtual -> native switch) resets the table; the
+// next attach recomputes it.
+func (ft *FrameTable) Reset() {
+	for i := range ft.info {
+		ft.info[i].Type = FrameNone
+		ft.info[i].TypeCount = 0
+		ft.info[i].TotalRefs = 0
+		ft.info[i].Pinned = false
+	}
+}
+
+// errType reports a type-safety violation.
+func errType(pfn hw.PFN, have FrameType, haveCount uint32, want FrameType) error {
+	return fmt.Errorf("xen: frame %d is %s(count %d), cannot become %s",
+		pfn, have, haveCount, want)
+}
+
+// GetType takes one typed reference on pfn as want. Re-typing is only
+// legal when the current type count is zero. Taking the first FrameL1/L2
+// reference does NOT validate entries here; validation is done by the
+// pin/validate paths, which charge cycles.
+func (ft *FrameTable) GetType(pfn hw.PFN, want FrameType) error {
+	fi := &ft.info[pfn]
+	if fi.TypeCount != 0 && fi.Type != want {
+		return errType(pfn, fi.Type, fi.TypeCount, want)
+	}
+	fi.Type = want
+	fi.TypeCount++
+	return nil
+}
+
+// PutType drops one typed reference.
+func (ft *FrameTable) PutType(pfn hw.PFN) {
+	fi := &ft.info[pfn]
+	if fi.TypeCount == 0 {
+		panic(fmt.Sprintf("xen: type count underflow on frame %d", pfn))
+	}
+	fi.TypeCount--
+	if fi.TypeCount == 0 {
+		fi.Type = FrameNone
+	}
+}
+
+// GetRef takes one existence reference.
+func (ft *FrameTable) GetRef(pfn hw.PFN) { ft.info[pfn].TotalRefs++ }
+
+// PutRef drops one existence reference.
+func (ft *FrameTable) PutRef(pfn hw.PFN) {
+	fi := &ft.info[pfn]
+	if fi.TotalRefs == 0 {
+		panic(fmt.Sprintf("xen: total ref underflow on frame %d", pfn))
+	}
+	fi.TotalRefs--
+}
+
+// CheckInvariants verifies the accounting invariants the property tests
+// rely on. It returns the first violation found.
+func (ft *FrameTable) CheckInvariants() error {
+	for pfn := range ft.info {
+		fi := &ft.info[pfn]
+		if fi.TypeCount > fi.TotalRefs {
+			return fmt.Errorf("xen: frame %d: type count %d exceeds total refs %d",
+				pfn, fi.TypeCount, fi.TotalRefs)
+		}
+		if fi.TypeCount > 0 && fi.Type == FrameNone {
+			return fmt.Errorf("xen: frame %d: %d typed refs but type none",
+				pfn, fi.TypeCount)
+		}
+		if fi.TypeCount == 0 && fi.Type != FrameNone {
+			return fmt.Errorf("xen: frame %d: type %s with zero count",
+				pfn, fi.Type)
+		}
+		if fi.Pinned && fi.TypeCount == 0 {
+			return fmt.Errorf("xen: frame %d pinned without a typed ref", pfn)
+		}
+	}
+	return nil
+}
+
+// Equal compares two tables entry by entry; the recompute-vs-active-
+// tracking property test uses it.
+func (ft *FrameTable) Equal(o *FrameTable) error {
+	if len(ft.info) != len(o.info) {
+		return fmt.Errorf("xen: frame tables differ in size")
+	}
+	for i := range ft.info {
+		a, b := ft.info[i], o.info[i]
+		if a != b {
+			return fmt.Errorf("xen: frame %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the table.
+func (ft *FrameTable) Clone() *FrameTable {
+	cp := &FrameTable{info: make([]FrameInfo, len(ft.info)), mem: ft.mem}
+	copy(cp.info, ft.info)
+	return cp
+}
+
+// NumFrames returns the table size.
+func (ft *FrameTable) NumFrames() int { return len(ft.info) }

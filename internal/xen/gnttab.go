@@ -1,0 +1,84 @@
+package xen
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// GrantRef names one grant-table entry of a domain.
+type GrantRef int
+
+// grantEntry records that a domain has granted another domain access to
+// one of its frames. Split drivers grant the frames holding I/O buffers
+// so the backend can map them instead of copying through the VMM.
+type grantEntry struct {
+	inUse    bool
+	toDom    DomID
+	pfn      hw.PFN
+	readonly bool
+	mapped   int
+}
+
+// GrantAccess publishes pfn to dom. Guest-local table write (real guests
+// write their grant table page directly), so no hypercall cost.
+func (d *Domain) GrantAccess(c *hw.CPU, to DomID, pfn hw.PFN, readonly bool) GrantRef {
+	c.Charge(d.VMM.M.Costs.MemWrite)
+	for i, g := range d.grants {
+		if !g.inUse {
+			*g = grantEntry{inUse: true, toDom: to, pfn: pfn, readonly: readonly}
+			return GrantRef(i)
+		}
+	}
+	d.grants = append(d.grants, &grantEntry{inUse: true, toDom: to, pfn: pfn, readonly: readonly})
+	return GrantRef(len(d.grants) - 1)
+}
+
+// GrantEnd revokes a grant once unmapped.
+func (d *Domain) GrantEnd(c *hw.CPU, ref GrantRef) error {
+	c.Charge(d.VMM.M.Costs.MemWrite)
+	if int(ref) >= len(d.grants) || !d.grants[ref].inUse {
+		return fmt.Errorf("xen: dom%d ending invalid grant %d", d.ID, ref)
+	}
+	if d.grants[ref].mapped != 0 {
+		return fmt.Errorf("xen: dom%d grant %d still mapped", d.ID, ref)
+	}
+	d.grants[ref].inUse = false
+	return nil
+}
+
+// GrantMap gives the calling (backend) domain access to the frame behind
+// (granterID, ref). It returns the frame and an unmap closure. This is
+// the grant_table_op hypercall.
+func (v *VMM) GrantMap(c *hw.CPU, d *Domain, granterID DomID, ref GrantRef) (hw.PFN, func(), error) {
+	defer v.enter(c, d)()
+	granter, ok := v.Domains[granterID]
+	if !ok {
+		return 0, nil, fmt.Errorf("xen: grant map from nonexistent dom%d", granterID)
+	}
+	if int(ref) >= len(granter.grants) {
+		return 0, nil, fmt.Errorf("xen: dom%d has no grant %d", granterID, ref)
+	}
+	g := granter.grants[ref]
+	if !g.inUse || g.toDom != d.ID {
+		return 0, nil, fmt.Errorf("xen: dom%d grant %d not granted to dom%d",
+			granterID, ref, d.ID)
+	}
+	c.Charge(v.M.Costs.GrantMap)
+	v.lockMMU(c)
+	v.FT.GetRef(g.pfn)
+	g.mapped++
+	v.unlockMMU()
+	pfn := g.pfn
+	unmapped := false
+	return pfn, func() {
+		if unmapped {
+			return
+		}
+		unmapped = true
+		v.lockMMU(c)
+		g.mapped--
+		v.FT.PutRef(pfn)
+		v.unlockMMU()
+	}, nil
+}

@@ -1,0 +1,120 @@
+package xen
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func ringCPU() *hw.CPU {
+	m := hw.NewMachine(hw.Config{MemBytes: 4 << 20, NumCPUs: 1})
+	return m.BootCPU()
+}
+
+func TestRingFIFO(t *testing.T) {
+	c := ringCPU()
+	r := NewRing[int, int](8, c.M.Costs)
+	for i := 0; i < 8; i++ {
+		if !r.PutRequest(c, i) {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	if r.PutRequest(c, 99) {
+		t.Fatal("overfilled ring")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.GetRequest(c)
+		if !ok || v != i {
+			t.Fatalf("get %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := r.GetRequest(c); ok {
+		t.Fatal("get from empty ring")
+	}
+}
+
+func TestRingResponsesIndependent(t *testing.T) {
+	c := ringCPU()
+	r := NewRing[int, string](8, c.M.Costs)
+	r.PutRequest(c, 1)
+	r.PutResponse(c, "a")
+	if n := r.RequestsPending(c); n != 1 {
+		t.Fatalf("requests pending = %d", n)
+	}
+	if n := r.ResponsesPending(c); n != 1 {
+		t.Fatalf("responses pending = %d", n)
+	}
+	s, ok := r.GetResponse(c)
+	if !ok || s != "a" {
+		t.Fatal("response lost")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	c := ringCPU()
+	r := NewRing[int, int](4, c.M.Costs)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.PutRequest(c, round*10+i) {
+				t.Fatal("put failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.GetRequest(c)
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: get = (%d,%v)", round, v, ok)
+			}
+		}
+	}
+}
+
+// Property: a concurrent producer and consumer neither lose nor
+// duplicate requests.
+func TestRingConcurrentIntegrity(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n)%200 + 1
+		m := hw.NewMachine(hw.Config{MemBytes: 4 << 20, NumCPUs: 2})
+		r := NewRing[int, int](32, m.Costs)
+		prod, cons := m.CPUs[0], m.CPUs[1]
+		var got []int
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < count; {
+				if r.PutRequest(prod, i) {
+					i++
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for len(got) < count {
+				if v, ok := r.GetRequest(cons); ok {
+					got = append(got, v)
+				}
+			}
+		}()
+		wg.Wait()
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-power-of-two capacity")
+		}
+	}()
+	NewRing[int, int](5, hw.DefaultCosts())
+}

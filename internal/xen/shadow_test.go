@@ -1,0 +1,151 @@
+package xen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+// shadowVMM builds an active shadow-mode VMM with one domain.
+func shadowVMM(t *testing.T) (*VMM, *Domain, *hw.CPU) {
+	t.Helper()
+	v, d, c := testVMM(t)
+	v.ShadowMode = true
+	return v, d, c
+}
+
+func TestShadowBuiltOnPin(t *testing.T) {
+	v, d, c := shadowVMM(t)
+	tb, _ := buildTree(t, v, d, 6)
+	if err := v.HypPinTable(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.VerifyShadow(d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if v.ShadowFramesInUse() == 0 {
+		t.Fatal("no shadow frames allocated")
+	}
+}
+
+func TestShadowCR3IsNotGuestRoot(t *testing.T) {
+	v, d, c := shadowVMM(t)
+	tb, _ := buildTree(t, v, d, 2)
+	if err := v.HypNewBaseptr(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReadCR3() == tb.Root {
+		t.Fatal("hardware runs on the guest root in shadow mode")
+	}
+	if d.VCPU0().CR3() != tb.Root {
+		t.Fatal("vcpu must record the guest root")
+	}
+	// The hardware walker resolves through the shadow.
+	w, ok := hw.Walk(v.M.Mem, c.ReadCR3(), 0x0800_0000)
+	if !ok {
+		t.Fatal("shadow does not walk")
+	}
+	gw, _ := hw.Walk(v.M.Mem, tb.Root, 0x0800_0000)
+	if w.PTE.Frame() != gw.PTE.Frame() {
+		t.Fatal("shadow walk disagrees with guest walk")
+	}
+}
+
+func TestShadowWriteThrough(t *testing.T) {
+	v, d, c := shadowVMM(t)
+	tb, _ := buildTree(t, v, d, 2)
+	if err := v.HypPinTable(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	// Update a leaf through mmu_update; the shadow must follow.
+	s, _ := tb.ExistingSlot(0x0800_0000)
+	fresh := d.Frames.Alloc()
+	if err := v.HypMMUUpdate(c, d, []MMUUpdate{{Table: s.Table, Index: s.Index,
+		New: hw.MakePTE(fresh, hw.PTEPresent|hw.PTEWrite|hw.PTEUser)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.VerifyShadow(d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	// Add a brand-new second-level table; the shadow grows one too.
+	pt2 := d.Frames.Alloc()
+	v.M.Mem.ZeroFrame(pt2)
+	if err := v.HypMMUUpdate(c, d, []MMUUpdate{{Table: tb.Root, Index: 300,
+		New: hw.MakePTE(pt2, hw.PTEPresent|hw.PTEWrite|hw.PTEUser)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.VerifyShadow(d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowDroppedOnUnpin(t *testing.T) {
+	v, d, c := shadowVMM(t)
+	tb, _ := buildTree(t, v, d, 4)
+	before := v.ShadowFramesInUse()
+	if err := v.HypPinTable(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if v.ShadowFramesInUse() <= before {
+		t.Fatal("pin allocated no shadow frames")
+	}
+	if err := v.HypUnpinTable(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ShadowFramesInUse(); got != before {
+		t.Fatalf("shadow frames leaked: %d -> %d", before, got)
+	}
+}
+
+func TestShadowAttachCostExceedsDirect(t *testing.T) {
+	// The §3.2.2 claim: shadow mode makes the (re)validation path more
+	// expensive because every entry must also be translated into a
+	// fresh shadow.
+	run := func(shadow bool) hw.Cycles {
+		v, d, c := testVMM(t)
+		v.ShadowMode = shadow
+		tb, _ := buildTree(t, v, d, 64)
+		start := c.Now()
+		if err := v.RecomputeFrameInfo(c, d, []hw.PFN{tb.Root}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Now() - start
+	}
+	direct := run(false)
+	shadow := run(true)
+	if shadow <= direct {
+		t.Fatalf("shadow attach (%d) not dearer than direct (%d)", shadow, direct)
+	}
+}
+
+// Property: after a random stream of validated updates, the shadow is
+// coherent with the guest tree.
+func TestShadowCoherenceUnderRandomUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v, d, c := testVMM(t)
+		v.ShadowMode = true
+		tb, _ := buildTree(t, v, d, 8)
+		if err := v.HypPinTable(c, d, tb.Root); err != nil {
+			return false
+		}
+		s, _ := tb.ExistingSlot(0x0800_0000)
+		for op := 0; op < 120; op++ {
+			idx := rng.Intn(64)
+			var e hw.PTE
+			if rng.Intn(3) != 0 {
+				e = hw.MakePTE(d.Frames.Alloc(), hw.PTEPresent|hw.PTEUser)
+			}
+			if err := v.HypMMUUpdate(c, d,
+				[]MMUUpdate{{Table: s.Table, Index: idx, New: e}}); err != nil {
+				return false
+			}
+		}
+		return v.VerifyShadow(d, tb.Root) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package xen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hw"
+)
+
+// Event tracing in the style of xentrace: a fixed-size per-VMM ring of
+// timestamped records emitted at the hypervisor's decision points
+// (hypercalls, domain switches, fault bounces, event sends, mode
+// switches). Disabled by default; enabling costs one atomic load per
+// potential emission.
+
+// TraceKind classifies a trace record.
+type TraceKind uint8
+
+// Trace record kinds.
+const (
+	TrcHypercall TraceKind = iota + 1
+	TrcDomSwitch
+	TrcFaultBounce
+	TrcEventSend
+	TrcAttach
+	TrcDetach
+	TrcPin
+	TrcUnpin
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TrcHypercall:
+		return "hypercall"
+	case TrcDomSwitch:
+		return "dom-switch"
+	case TrcFaultBounce:
+		return "fault-bounce"
+	case TrcEventSend:
+		return "event-send"
+	case TrcAttach:
+		return "attach"
+	case TrcDetach:
+		return "detach"
+	case TrcPin:
+		return "pin"
+	case TrcUnpin:
+		return "unpin"
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// TraceEvent is one record.
+type TraceEvent struct {
+	TSC  hw.Cycles
+	CPU  int
+	Kind TraceKind
+	Dom  DomID
+	Arg  uint64
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%12d] cpu%d dom%-2d %-12s arg=%d",
+		e.TSC, e.CPU, e.Dom, e.Kind, e.Arg)
+}
+
+// TraceBuffer is the bounded ring.
+type TraceBuffer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	buf     []TraceEvent
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// DefaultTraceCap is the ring capacity.
+const DefaultTraceCap = 4096
+
+// NewTraceBuffer builds a disabled ring with capacity n (0 = default).
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n <= 0 {
+		n = DefaultTraceCap
+	}
+	return &TraceBuffer{buf: make([]TraceEvent, n)}
+}
+
+// Enable starts recording.
+func (t *TraceBuffer) Enable() { t.enabled.Store(true) }
+
+// Disable stops recording (records are kept).
+func (t *TraceBuffer) Disable() { t.enabled.Store(false) }
+
+// Emit appends a record if tracing is on.
+func (t *TraceBuffer) Emit(c *hw.CPU, kind TraceKind, dom DomID, arg uint64) {
+	if !t.enabled.Load() {
+		return
+	}
+	ev := TraceEvent{TSC: c.Now(), CPU: c.ID, Kind: kind, Dom: dom, Arg: arg}
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the recorded events in emission order and clears the
+// ring.
+func (t *TraceBuffer) Snapshot() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TraceEvent
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+	}
+	out = append(out, t.buf[:t.next]...)
+	t.next = 0
+	t.wrapped = false
+	return out
+}
+
+// traceEmit is the VMM-side helper (nil-safe).
+func (v *VMM) traceEmit(c *hw.CPU, kind TraceKind, d *Domain, arg uint64) {
+	if v.Trace == nil {
+		return
+	}
+	id := DomID(0xFFFE)
+	if d != nil {
+		id = d.ID
+	}
+	v.Trace.Emit(c, kind, id, arg)
+}

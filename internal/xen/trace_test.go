@@ -1,0 +1,72 @@
+package xen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestTraceCapturesHypercallsAndPins(t *testing.T) {
+	v, d, c := testVMM(t)
+	v.Trace.Enable()
+	tb, _ := buildTree(t, v, d, 2)
+	if err := v.HypPinTable(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.HypUnpinTable(c, d, tb.Root); err != nil {
+		t.Fatal(err)
+	}
+	v.Trace.Disable()
+	evs := v.Trace.Snapshot()
+	kinds := map[TraceKind]int{}
+	for _, e := range evs {
+		kinds[e.Kind]++
+		if e.Dom != d.ID {
+			t.Fatalf("event for dom%d", e.Dom)
+		}
+	}
+	if kinds[TrcHypercall] != 2 || kinds[TrcPin] != 1 || kinds[TrcUnpin] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// Timestamps are monotonic (single CPU).
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TSC < evs[i-1].TSC {
+			t.Fatal("trace out of order")
+		}
+	}
+	if !strings.Contains(evs[0].String(), "hypercall") {
+		t.Fatalf("render: %s", evs[0])
+	}
+}
+
+func TestTraceDisabledIsFree(t *testing.T) {
+	v, d, c := testVMM(t)
+	// Disabled (default): nothing recorded.
+	v.HypSchedYield(c, d)
+	if evs := v.Trace.Snapshot(); len(evs) != 0 {
+		t.Fatalf("disabled trace recorded %d events", len(evs))
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	tb := NewTraceBuffer(4)
+	tb.Enable()
+	m := hw.NewMachine(hw.Config{MemBytes: 4 << 20, NumCPUs: 1})
+	c := m.BootCPU()
+	for i := 0; i < 7; i++ {
+		c.Charge(10)
+		tb.Emit(c, TrcEventSend, 1, uint64(i))
+	}
+	evs := tb.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d", len(evs))
+	}
+	if evs[0].Arg != 3 || evs[3].Arg != 6 {
+		t.Fatalf("wrap lost order: %v", evs)
+	}
+	// Snapshot cleared the ring.
+	if len(tb.Snapshot()) != 0 {
+		t.Fatal("snapshot did not clear")
+	}
+}

@@ -1,0 +1,347 @@
+package xen
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hw"
+)
+
+// VMM is the hypervisor. In the always-on configurations (X-0, X-U) it
+// boots first, owns the hardware, and never releases it. Under Mercury it
+// is *pre-cached*: built and warmed at machine boot (§4.1), holding its
+// reserved memory and data structures, but inactive — the hardware IDT
+// and the frame accounting belong to the native OS until a mode switch
+// activates it.
+type VMM struct {
+	M *hw.Machine
+
+	// Active is true while the VMM owns the hardware.
+	Active bool
+
+	// FT is the per-frame accounting table (stale while inactive).
+	FT *FrameTable
+
+	Domains map[DomID]*Domain
+
+	// IDT/GDT are the VMM's own descriptor tables, installed in hardware
+	// while active.
+	IDT *hw.IDT
+	GDT *hw.GDT
+
+	// Reserved is the VMM's own memory footprint, carved off at boot.
+	Reserved *hw.FrameAllocator
+
+	// Store is the control-plane registry (xenstore) split drivers
+	// negotiate through.
+	Store *XenStore
+
+	// Trace is the xentrace-style event ring (disabled by default).
+	Trace *TraceBuffer
+
+	// sched is the credit-weight domain scheduler state.
+	sched DomSched
+
+	// ShadowMode selects shadow paging instead of direct paging
+	// (§3.2.2): hardware runs on VMM-maintained translated copies of
+	// the guest tables. Direct mode is the default (and the paper's
+	// choice for Mercury).
+	ShadowMode bool
+	shadows    map[DomID]*shadowState
+
+	// cur is the per-physical-CPU stack of domains being executed; the
+	// top is the current domain on that CPU.
+	cur [][]*Domain
+
+	// mmuMu serializes frame-table mutation (validation, pinning,
+	// shadow maintenance) across CPUs, as Xen's per-domain page lock
+	// does. Waiters spin with their clocks advancing (see lockMMU).
+	mmuMu sync.Mutex
+
+	nextDomID  DomID
+	consoleLog []string
+
+	Stats VMMStats
+}
+
+// VMMStats counts hypervisor-level events. Atomic: hypercalls arrive
+// concurrently from every CPU.
+type VMMStats struct {
+	Hypercalls    atomic.Uint64
+	DomSwitches   atomic.Uint64
+	FaultsHandled atomic.Uint64
+	Activations   atomic.Uint64
+	Deactivations atomic.Uint64
+}
+
+// ReservedFrames is the pre-cached VMM's footprint: 16 MB worth of
+// frames, standing in for Xen's 64 MB virtual reservation with a smaller
+// resident set ("a VMM occupies only a reasonably small chunk of memory",
+// §4.1).
+const ReservedFrames = (16 << 20) / hw.PageSize
+
+// Boot constructs the VMM on m, carving its reserved footprint out of
+// the machine's frame allocator and preparing (warming) every internal
+// structure. It does NOT take over the hardware; call Activate for that.
+func Boot(m *hw.Machine) (*VMM, error) {
+	res, err := m.Frames.Split(ReservedFrames)
+	if err != nil {
+		return nil, fmt.Errorf("xen: reserving VMM memory: %w", err)
+	}
+	v := &VMM{
+		M:        m,
+		FT:       NewFrameTable(m.Mem),
+		Domains:  make(map[DomID]*Domain),
+		Reserved: res,
+		Store:    NewXenStore(),
+		Trace:    NewTraceBuffer(0),
+		cur:      make([][]*Domain, len(m.CPUs)),
+	}
+	lo, hi := res.Range()
+	for pfn := lo; pfn < hi; pfn++ {
+		v.FT.SetOwner(pfn, DomVMM)
+	}
+	v.GDT = hw.NewGDT("vmm", hw.PL1) // guests run deprivileged at PL1
+	v.IDT = hw.NewIDT("vmm")
+	v.installTrapHandlers()
+	return v, nil
+}
+
+// installTrapHandlers populates the VMM IDT: guest-bound exceptions are
+// bounced through the current domain's trap table; device lines are
+// forwarded to the driver domain as events.
+func (v *VMM) installTrapHandlers() {
+	v.IDT.Set(hw.VecPageFault, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) {
+			v.Stats.FaultsHandled.Add(1)
+			d := v.Current(c)
+			if d == nil {
+				panic(fmt.Sprintf("xen: page fault at %#x with no current domain", f.Addr))
+			}
+			d.bounce(c, f)
+		}})
+	v.IDT.Set(hw.VecGP, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) {
+			d := v.Current(c)
+			if d != nil && d.TrapTable[hw.VecGP].Present {
+				d.bounce(c, f)
+				return
+			}
+			panic(&hw.GPError{Reason: "unhandled #GP in VMM context"})
+		}})
+	v.IDT.Set(hw.VecTimer, hw.Gate{Present: true, Target: hw.PL0,
+		Handler: func(c *hw.CPU, f *hw.TrapFrame) {
+			// Virtual timer tick for the current domain, then weighted
+			// background slices for the other runnable domains.
+			d := v.Current(c)
+			if d != nil && d.TimerHandler != nil {
+				c.Charge(v.M.Costs.EventDeliver)
+				prev := c.SetMode(hw.PL1)
+				d.TimerHandler(c)
+				c.SetMode(prev)
+			}
+			v.scheduleSlices(c, v.M.Hz/100)
+		}})
+	forward := func(line int) func(c *hw.CPU, f *hw.TrapFrame) {
+		return func(c *hw.CPU, f *hw.TrapFrame) {
+			// Physical device interrupt: forward to the driver domain's
+			// registered handler for this vector.
+			d := v.DriverDomain()
+			if d == nil {
+				return
+			}
+			g := d.TrapTable[f.Vector]
+			if !g.Present {
+				return
+			}
+			c.Charge(v.M.Costs.EventDeliver)
+			run := func() {
+				prev := c.SetMode(hw.PL1)
+				g.Handler(c, f)
+				c.SetMode(prev)
+			}
+			if v.Current(c) == d {
+				run() // driver domain is already running: direct upcall
+			} else {
+				v.runInDomain(c, d, run)
+			}
+		}
+	}
+	v.IDT.Set(hw.VecDisk, hw.Gate{Present: true, Target: hw.PL0, Handler: forward(hw.IRQLineDisk)})
+	v.IDT.Set(hw.VecNIC, hw.Gate{Present: true, Target: hw.PL0, Handler: forward(hw.IRQLineNIC)})
+}
+
+// SetGate lets Mercury install extra vectors in the VMM IDT (the
+// mode-switch interrupts must be reachable from virtual mode too).
+func (v *VMM) SetGate(vector int, g hw.Gate) { v.IDT.Set(vector, g) }
+
+// Activate makes the VMM take over the hardware on cpu: its descriptor
+// tables are loaded and it becomes the most-privileged software. The
+// caller (Mercury's state-reloading function, or the Xen boot path) must
+// already have frame accounting in a valid state.
+func (v *VMM) Activate(c *hw.CPU) {
+	v.Stats.Activations.Add(1)
+	v.Active = true
+	c.Lgdt(v.GDT)
+	c.Lidt(v.IDT)
+}
+
+// Deactivate releases the hardware (Mercury detaching the VMM). The
+// frame table goes stale at this instant.
+func (v *VMM) Deactivate(c *hw.CPU) {
+	v.Stats.Deactivations.Add(1)
+	v.Active = false
+}
+
+// CreateDomain builds a new domain with nframes of memory taken from the
+// machine's general allocator, owned by the new domain.
+func (v *VMM) CreateDomain(name string, nframes hw.PFN, privileged bool) (*Domain, error) {
+	id := v.nextDomID
+	v.nextDomID++
+	lo, hi := v.M.Frames.Range()
+	_ = lo
+	_ = hi
+	part, err := v.M.Frames.Split(nframes)
+	if err != nil {
+		return nil, fmt.Errorf("xen: allocating dom%d memory: %w", id, err)
+	}
+	d := &Domain{
+		ID:          id,
+		Name:        name,
+		VMM:         v,
+		Privileged:  privileged,
+		Frames:      part,
+		pinnedRoots: make(map[hw.PFN]bool),
+	}
+	d.VCPUs = []*VCPU{newVCPU(d)}
+	plo, phi := part.Range()
+	for pfn := plo; pfn < phi; pfn++ {
+		v.FT.SetOwner(pfn, id)
+	}
+	v.Domains[id] = d
+	return d, nil
+}
+
+// AdoptDomain registers an existing OS (with its already-owned frame
+// allocator) as a domain — the self-virtualization path: the running
+// native OS becomes the driver domain of the freshly activated VMM.
+func (v *VMM) AdoptDomain(name string, frames *hw.FrameAllocator, privileged bool) *Domain {
+	id := v.nextDomID
+	v.nextDomID++
+	d := &Domain{
+		ID:          id,
+		Name:        name,
+		VMM:         v,
+		Privileged:  privileged,
+		Frames:      frames,
+		pinnedRoots: make(map[hw.PFN]bool),
+	}
+	d.VCPUs = []*VCPU{newVCPU(d)}
+	lo, hi := frames.Range()
+	for pfn := lo; pfn < hi; pfn++ {
+		v.FT.SetOwner(pfn, id)
+	}
+	v.Domains[id] = d
+	return d
+}
+
+// DestroyDomain tears a domain down and returns its info.
+func (v *VMM) DestroyDomain(id DomID) error {
+	d, ok := v.Domains[id]
+	if !ok {
+		return fmt.Errorf("xen: destroying nonexistent dom%d", id)
+	}
+	d.State = DomShutdown
+	delete(v.Domains, id)
+	return nil
+}
+
+// DriverDomain returns the privileged domain (nil if none).
+func (v *VMM) DriverDomain() *Domain {
+	for _, d := range v.Domains {
+		if d.Privileged {
+			return d
+		}
+	}
+	return nil
+}
+
+// Current returns the domain executing on c, if any.
+func (v *VMM) Current(c *hw.CPU) *Domain {
+	st := v.cur[c.ID]
+	if len(st) == 0 {
+		return nil
+	}
+	return st[len(st)-1]
+}
+
+// onStack reports whether d is anywhere on c's dispatch stack.
+func (v *VMM) onStack(c *hw.CPU, d *Domain) bool {
+	for _, e := range v.cur[c.ID] {
+		if e == d {
+			return true
+		}
+	}
+	return false
+}
+
+// SetCurrent establishes d as the domain running on c without charging a
+// switch (used at boot and by Mercury when the adopted OS becomes
+// current).
+func (v *VMM) SetCurrent(c *hw.CPU, d *Domain) {
+	v.cur[c.ID] = v.cur[c.ID][:0]
+	if d != nil {
+		v.cur[c.ID] = append(v.cur[c.ID], d)
+	}
+}
+
+// RunInDomain executes fn with d current on c, charging a domain switch
+// in and out — used by wiring code that must run driver-domain work on
+// behalf of another domain (e.g., pumping the physical NIC).
+func (v *VMM) RunInDomain(c *hw.CPU, d *Domain, fn func()) {
+	v.runInDomain(c, d, fn)
+}
+
+// runInDomain executes fn with d current on c, charging a domain switch
+// in and out — the uniprocessor Xen pattern for backend processing.
+func (v *VMM) runInDomain(c *hw.CPU, d *Domain, fn func()) {
+	// The target domain is not running: besides the context switch, the
+	// initiator eats the VMM scheduler's dispatch latency.
+	c.Charge(v.M.Costs.DomSchedLatency)
+	c.Charge(v.M.Costs.DomSwitch)
+	v.Stats.DomSwitches.Add(1)
+	v.traceEmit(c, TrcDomSwitch, d, 0)
+	v.cur[c.ID] = append(v.cur[c.ID], d)
+	fn()
+	v.cur[c.ID] = v.cur[c.ID][:len(v.cur[c.ID])-1]
+	c.Charge(v.M.Costs.DomSwitch)
+	v.Stats.DomSwitches.Add(1)
+}
+
+// lockMMU serializes page-table validation across CPUs. The wait keeps
+// the caller's clock advancing so the cross-CPU lockstep cannot wedge
+// against a frozen waiter.
+func (v *VMM) lockMMU(c *hw.CPU) {
+	for !v.mmuMu.TryLock() {
+		c.Charge(60)
+		runtime.Gosched()
+	}
+}
+
+// unlockMMU releases the page-table lock.
+func (v *VMM) unlockMMU() { v.mmuMu.Unlock() }
+
+// enter is the hypercall prologue: a world switch into the VMM at PL0.
+// The returned closure is the epilogue. Usage: defer v.enter(c, d)().
+func (v *VMM) enter(c *hw.CPU, d *Domain) func() {
+	c.Charge(v.M.Costs.WorldSwitch + v.M.Costs.HypercallBase)
+	v.Stats.Hypercalls.Add(1)
+	v.traceEmit(c, TrcHypercall, d, 0)
+	if d != nil {
+		d.Stats.Hypercalls.Add(1)
+	}
+	prev := c.SetMode(hw.PL0)
+	return func() { c.SetMode(prev) }
+}

@@ -1,0 +1,211 @@
+package xen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestBootReservesFootprint(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 64 << 20, NumCPUs: 1})
+	before := m.Frames.Available()
+	v, err := Boot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := v.Reserved.Range()
+	if int(hi-lo) != ReservedFrames {
+		t.Fatalf("reserved %d frames", hi-lo)
+	}
+	if m.Frames.Available() != before-ReservedFrames {
+		t.Fatal("machine allocator not shrunk")
+	}
+	// Reserved frames carry VMM ownership.
+	if v.FT.Get(lo).Owner != DomVMM {
+		t.Fatal("reserved frame not VMM-owned")
+	}
+	if v.Active {
+		t.Fatal("freshly booted VMM active (it must be pre-cached only)")
+	}
+}
+
+func TestActivateInstallsTables(t *testing.T) {
+	v, _, c := testVMM(t)
+	if c.IDTR != v.IDT || c.GDTR != v.GDT {
+		t.Fatal("activate did not install the VMM tables")
+	}
+	if !v.Active {
+		t.Fatal("not active")
+	}
+	v.Deactivate(c)
+	if v.Active {
+		t.Fatal("still active")
+	}
+}
+
+func TestCreateDomainOwnership(t *testing.T) {
+	v, d, _ := testVMM(t)
+	lo, hi := d.Frames.Range()
+	if v.FT.Get(lo).Owner != d.ID || v.FT.Get(hi-1).Owner != d.ID {
+		t.Fatal("partition frames not owned by the domain")
+	}
+	if d.VCPU0() == nil || !d.VCPU0().VIF() {
+		t.Fatal("vcpu not initialized")
+	}
+}
+
+func TestAdoptDomainKeepsAllocator(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 32 << 20, NumCPUs: 1})
+	v, err := Boot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := v.AdoptDomain("os", m.Frames, true)
+	if d.Frames != m.Frames {
+		t.Fatal("adopted domain must keep its own allocator")
+	}
+	if !d.Privileged {
+		t.Fatal("adopted OS must be the driver domain")
+	}
+	if v.DriverDomain() != d {
+		t.Fatal("driver domain lookup failed")
+	}
+}
+
+func TestConsoleIO(t *testing.T) {
+	v, d, c := testVMM(t)
+	v.HypConsoleIO(c, d, "hello from the guest")
+	log := v.ConsoleLog()
+	if len(log) != 1 || !strings.Contains(log[0], "hello from the guest") {
+		t.Fatalf("console log: %v", log)
+	}
+	if !strings.Contains(log[0], "dom") {
+		t.Fatal("console line not attributed to a domain")
+	}
+}
+
+func TestEmulateRunsAtPL0(t *testing.T) {
+	v, d, c := testVMM(t)
+	c.SetMode(hw.PL1)
+	var seen uint8 = 99
+	before := c.Now()
+	v.Emulate(c, d, func() { seen = c.CPL })
+	if seen != hw.PL0 {
+		t.Fatalf("emulation ran at PL%d", seen)
+	}
+	if c.CPL != hw.PL1 {
+		t.Fatal("CPL not restored")
+	}
+	if c.Now()-before < v.M.Costs.WorldSwitch {
+		t.Fatal("trap-and-emulate not charged")
+	}
+	if d.Stats.FaultBounces.Load() == 0 {
+		t.Fatal("bounce not counted")
+	}
+}
+
+func TestDeviceIRQForwardedToDriverDomain(t *testing.T) {
+	// A physical disk interrupt while an unprivileged domain runs must
+	// reach the *driver* domain's handler.
+	m := hw.NewMachine(hw.Config{MemBytes: 32 << 20, NumCPUs: 1})
+	v, err := Boot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.BootCPU()
+	v.Activate(c)
+	d0, _ := v.CreateDomain("dom0", 512, true)
+	dU, _ := v.CreateDomain("domU", 512, false)
+	v.SetCurrent(c, dU)
+
+	served := 0
+	d0.SetTrapGate(hw.VecDisk, func(cc *hw.CPU, f *hw.TrapFrame) { served++ })
+	// The unprivileged guest is executing (deprivileged, interrupts on —
+	// the hardware IF belongs to the VMM).
+	c.SetMode(hw.PL1)
+	c.IF = true
+	c.LAPIC.Post(hw.VecDisk)
+	c.Charge(10)
+	if served != 1 {
+		t.Fatalf("driver domain served %d disk IRQs", served)
+	}
+	// The VMM switched to dom0 and back.
+	if v.Stats.DomSwitches.Load() < 2 {
+		t.Fatalf("dom switches = %d", v.Stats.DomSwitches.Load())
+	}
+}
+
+func TestHypSchedBlockWaitsForEvent(t *testing.T) {
+	v, d0, dU, c := twoDomains(t)
+	// Bind a pair; dU blocks until d0 signals.
+	pU := v.EvtchnAllocUnbound(c, dU, d0.ID)
+	woken := false
+	dU.SetPortHandler(pU, func(cc *hw.CPU) { woken = true })
+	p0, err := v.EvtchnBindInterdomain(c, d0, dU.ID, pU)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mask the target so the event stays pending instead of being
+	// delivered synchronously at send time.
+	dU.VCPU0().SetVIF(false)
+	v.SetCurrent(c, d0)
+	if err := v.EvtchnSend(c, d0, p0); err != nil {
+		t.Fatal(err)
+	}
+	if woken {
+		t.Fatal("masked event delivered early")
+	}
+	v.SetCurrent(c, dU)
+	dU.VCPU0().SetVIF(true)
+	v.HypSchedBlock(c, dU)
+	if !woken {
+		t.Fatal("block did not drain the pending event")
+	}
+}
+
+func TestRunInDomainChargesSwitch(t *testing.T) {
+	v, d0, dU, c := twoDomains(t)
+	_ = dU
+	before := c.Now()
+	ran := false
+	v.RunInDomain(c, d0, func() {
+		ran = true
+		if v.Current(c) != d0 {
+			t.Error("current domain not switched")
+		}
+	})
+	if !ran {
+		t.Fatal("fn did not run")
+	}
+	cost := c.Now() - before
+	want := v.M.Costs.DomSchedLatency + 2*v.M.Costs.DomSwitch
+	if cost < want {
+		t.Fatalf("charged %d, want >= %d", cost, want)
+	}
+}
+
+func TestUpdateDescriptorValidation(t *testing.T) {
+	v, d, c := testVMM(t)
+	g := hw.NewGDT("guest", hw.PL1)
+
+	// Legal: a user-code descriptor.
+	ok := hw.SegDesc{Kind: hw.SegCode, Limit: 0xFFFF, DPL: hw.PL3, Present: true}
+	if err := v.HypUpdateDescriptor(c, d, g, hw.GDTUserCode, ok); err != nil {
+		t.Fatal(err)
+	}
+	// Escalation: a PL0 descriptor from a deprivileged guest.
+	bad := hw.SegDesc{Kind: hw.SegCode, Limit: 0xFFFF, DPL: hw.PL0, Present: true}
+	if err := v.HypUpdateDescriptor(c, d, g, hw.GDTUserCode, bad); err == nil {
+		t.Fatal("guest installed a PL0 descriptor")
+	}
+	// Hypervisor slots are immutable.
+	if err := v.HypUpdateDescriptor(c, d, g, hw.GDTVMMCode, ok); err == nil {
+		t.Fatal("guest modified a hypervisor descriptor")
+	}
+	// Range check.
+	if err := v.HypUpdateDescriptor(c, d, g, 99, ok); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}

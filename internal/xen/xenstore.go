@@ -1,0 +1,179 @@
+package xen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/hw"
+)
+
+// XenStore is the hierarchical control-plane registry split drivers
+// negotiate through: backends publish ring references, event-channel
+// ports and state under per-domain paths; frontends read them and watch
+// for state changes. After a migration the frontend re-reads its keys to
+// reconnect to the new backend (§5.2: "the frontend drivers reconnect
+// themselves to the new backend drivers on the new host machine").
+type XenStore struct {
+	mu      sync.Mutex
+	root    *xsNode
+	watches map[string][]func(path, value string)
+}
+
+type xsNode struct {
+	children map[string]*xsNode
+	value    string
+}
+
+// NewXenStore builds an empty store.
+func NewXenStore() *XenStore {
+	return &XenStore{
+		root:    &xsNode{children: make(map[string]*xsNode)},
+		watches: make(map[string][]func(path, value string)),
+	}
+}
+
+// split normalizes a path into components.
+func xsSplit(path string) []string {
+	var out []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Write sets path to value, creating intermediate directories, and fires
+// watches on the path and its ancestors.
+func (x *XenStore) Write(c *hw.CPU, path, value string) {
+	if c != nil {
+		c.Charge(c.M.Costs.MemWrite * 8)
+	}
+	x.mu.Lock()
+	n := x.root
+	for _, part := range xsSplit(path) {
+		next, ok := n.children[part]
+		if !ok {
+			next = &xsNode{children: make(map[string]*xsNode)}
+			n.children[part] = next
+		}
+		n = next
+	}
+	n.value = value
+	// Collect watchers under the lock, fire outside it.
+	var fire []func(path, value string)
+	prefix := ""
+	for _, part := range append([]string{""}, xsSplit(path)...) {
+		if part != "" {
+			prefix += "/" + part
+		}
+		key := prefix
+		if key == "" {
+			key = "/"
+		}
+		fire = append(fire, x.watches[key]...)
+	}
+	x.mu.Unlock()
+	for _, f := range fire {
+		f(path, value)
+	}
+}
+
+// Read returns the value at path.
+func (x *XenStore) Read(c *hw.CPU, path string) (string, error) {
+	if c != nil {
+		c.Charge(c.M.Costs.MemRead * 8)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := x.root
+	for _, part := range xsSplit(path) {
+		next, ok := n.children[part]
+		if !ok {
+			return "", fmt.Errorf("xenstore: %s: no such key", path)
+		}
+		n = next
+	}
+	return n.value, nil
+}
+
+// List returns the sorted child names of a directory.
+func (x *XenStore) List(c *hw.CPU, path string) ([]string, error) {
+	if c != nil {
+		c.Charge(c.M.Costs.MemRead * 8)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := x.root
+	for _, part := range xsSplit(path) {
+		next, ok := n.children[part]
+		if !ok {
+			return nil, fmt.Errorf("xenstore: %s: no such key", path)
+		}
+		n = next
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Rm removes a subtree.
+func (x *XenStore) Rm(c *hw.CPU, path string) error {
+	if c != nil {
+		c.Charge(c.M.Costs.MemWrite * 4)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	parts := xsSplit(path)
+	if len(parts) == 0 {
+		return fmt.Errorf("xenstore: cannot remove the root")
+	}
+	n := x.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := n.children[part]
+		if !ok {
+			return fmt.Errorf("xenstore: %s: no such key", path)
+		}
+		n = next
+	}
+	if _, ok := n.children[parts[len(parts)-1]]; !ok {
+		return fmt.Errorf("xenstore: %s: no such key", path)
+	}
+	delete(n.children, parts[len(parts)-1])
+	return nil
+}
+
+// Watch registers fn to fire whenever path or anything below it is
+// written. fn runs on the writer's goroutine, as a xenstored callback
+// would on its connection.
+func (x *XenStore) Watch(path string, fn func(path, value string)) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	key := "/" + strings.Join(xsSplit(path), "/")
+	x.watches[key] = append(x.watches[key], fn)
+}
+
+// Canonical device paths.
+
+// DevicePath returns the frontend's directory for a device class.
+func DevicePath(fe DomID, class string) string {
+	return fmt.Sprintf("/local/domain/%d/device/%s/0", fe, class)
+}
+
+// BackendPath returns the backend's directory for a device it serves.
+func BackendPath(be, fe DomID, class string) string {
+	return fmt.Sprintf("/local/domain/%d/backend/%s/%d/0", be, class, fe)
+}
+
+// Device states, following xenbus.
+const (
+	XsStateInitialising = "1"
+	XsStateInitWait     = "2"
+	XsStateConnected    = "4"
+	XsStateClosed       = "6"
+)

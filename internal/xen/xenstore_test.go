@@ -1,0 +1,90 @@
+package xen
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func xsCPU() *hw.CPU {
+	m := hw.NewMachine(hw.Config{MemBytes: 4 << 20, NumCPUs: 1})
+	return m.BootCPU()
+}
+
+func TestXenStoreReadWrite(t *testing.T) {
+	x := NewXenStore()
+	c := xsCPU()
+	x.Write(c, "/local/domain/1/device/vbd/0/state", XsStateConnected)
+	got, err := x.Read(c, "/local/domain/1/device/vbd/0/state")
+	if err != nil || got != XsStateConnected {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if _, err := x.Read(c, "/no/such/key"); err == nil {
+		t.Fatal("missing key read succeeded")
+	}
+	// Overwrite.
+	x.Write(c, "/local/domain/1/device/vbd/0/state", XsStateClosed)
+	if got, _ := x.Read(c, "/local/domain/1/device/vbd/0/state"); got != XsStateClosed {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+}
+
+func TestXenStoreList(t *testing.T) {
+	x := NewXenStore()
+	c := xsCPU()
+	x.Write(c, "/a/z", "1")
+	x.Write(c, "/a/b", "2")
+	x.Write(c, "/a/m/deep", "3")
+	names, err := x.List(c, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "b" || names[1] != "m" || names[2] != "z" {
+		t.Fatalf("list = %v", names)
+	}
+	if _, err := x.List(c, "/missing"); err == nil {
+		t.Fatal("list of missing dir succeeded")
+	}
+}
+
+func TestXenStoreRm(t *testing.T) {
+	x := NewXenStore()
+	c := xsCPU()
+	x.Write(c, "/a/b/c", "1")
+	if err := x.Rm(c, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Read(c, "/a/b/c"); err == nil {
+		t.Fatal("removed subtree still readable")
+	}
+	if err := x.Rm(c, "/a/b"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestXenStoreWatch(t *testing.T) {
+	x := NewXenStore()
+	c := xsCPU()
+	var events []string
+	x.Watch("/local/domain/2/device", func(path, value string) {
+		events = append(events, path+"="+value)
+	})
+	x.Write(c, "/local/domain/2/device/vif/0/state", XsStateInitWait)
+	x.Write(c, "/local/domain/3/device/vif/0/state", XsStateInitWait) // other domain
+	x.Write(c, "/local/domain/2/device/vif/0/state", XsStateConnected)
+	if len(events) != 2 {
+		t.Fatalf("watch fired %d times: %v", len(events), events)
+	}
+	if events[1] != "/local/domain/2/device/vif/0/state="+XsStateConnected {
+		t.Fatalf("event = %s", events[1])
+	}
+}
+
+func TestXenStorePathHelpers(t *testing.T) {
+	if DevicePath(3, "vbd") != "/local/domain/3/device/vbd/0" {
+		t.Fatal(DevicePath(3, "vbd"))
+	}
+	if BackendPath(0, 3, "vif") != "/local/domain/0/backend/vif/3/0" {
+		t.Fatal(BackendPath(0, 3, "vif"))
+	}
+}
