@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,6 +30,9 @@ func main() {
 		"experiment to run: table1, table2, fig3, fig4, switch, ablation, paging, batching, emulation, addrspace, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
 	format := flag.String("format", "text", "output format for tables/figures: text or csv")
+	metrics := flag.Bool("metrics", false,
+		"collect telemetry and write per-configuration metric dumps (JSON)")
+	metricsDir := flag.String("metricsdir", ".", "directory for -metrics dump files")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -35,9 +41,34 @@ func main() {
 	}
 	any := false
 
+	// collectorsFor returns per-configuration collectors (and a dump
+	// function) when -metrics is on, else zero options.
+	collectorsFor := func(expName string, ncpu int) (bench.Options, func()) {
+		if !*metrics {
+			return bench.Options{}, func() {}
+		}
+		cs := bench.NewCollectorSet(ncpu)
+		return bench.Options{CollectorFor: cs.For}, func() {
+			for _, key := range cs.Keys() {
+				path := filepath.Join(*metricsDir,
+					fmt.Sprintf("metrics-%s-%s.json", expName, key))
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := cs.For(key).Registry.WriteJSON(f); err != nil {
+					log.Fatal(err)
+				}
+				f.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+
 	if run("table1") {
 		any = true
-		t, err := bench.LmbenchTable(1, bench.Options{})
+		opt, dump := collectorsFor("table1", 1)
+		t, err := bench.LmbenchTable(1, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,11 +77,13 @@ func main() {
 		} else {
 			bench.WriteTable(os.Stdout, t)
 		}
+		dump()
 		fmt.Println()
 	}
 	if run("table2") {
 		any = true
-		t, err := bench.LmbenchTable(2, bench.Options{})
+		opt, dump := collectorsFor("table2", 2)
+		t, err := bench.LmbenchTable(2, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,6 +92,7 @@ func main() {
 		} else {
 			bench.WriteTable(os.Stdout, t)
 		}
+		dump()
 		fmt.Println()
 	}
 	if run("fig3") {
@@ -89,11 +123,31 @@ func main() {
 	}
 	if run("switch") {
 		any = true
-		r, err := bench.ModeSwitchBench(*samples, core.TrackRecompute)
+		opt := bench.Options{}
+		var col *obs.Collector
+		if *metrics {
+			col = obs.New(1)
+			opt.Collector = col
+		}
+		r, err := bench.ModeSwitchBenchOpts(*samples, core.TrackRecompute, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		bench.WriteSwitch(os.Stdout, r)
+		if col != nil {
+			fmt.Println()
+			bench.WritePhaseBreakdown(os.Stdout, col, hw.DefaultHz)
+			path := filepath.Join(*metricsDir, "metrics-switch-M-N.json")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := col.Registry.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
 		fmt.Println()
 	}
 	if run("paging") {

@@ -7,16 +7,22 @@
 //	mercuryctl -demo lifecycle   # boot, attach, host, detach
 //	mercuryctl -demo stress      # repeated switches under process load
 //	mercuryctl -demo scenarios   # healing + live update episodes
+//	mercuryctl stats             # run a workload, print the metrics
+//	                             # registry (Prometheus text format)
+//	mercuryctl trace -o t.json   # record spans + the xentrace ring,
+//	                             # export Chrome trace_event JSON
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/guest"
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,19 +31,51 @@ func main() {
 	ncpu := flag.Int("cpus", 1, "number of CPUs")
 	flag.Parse()
 
+	// Subcommand flags come after the subcommand word
+	// (mercuryctl trace -o trace.json), so they get their own set.
+	sub := flag.Arg(0)
+	subFlags := flag.NewFlagSet(sub, flag.ExitOnError)
+	out := subFlags.String("o", "trace.json", "output file for the trace subcommand")
+	if sub != "" {
+		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	pol := core.TrackRecompute
 	if *policy == "active" {
 		pol = core.TrackActive
 	}
+	var col *obs.Collector
+	if sub != "" {
+		// The collector must exist before boot so boot-time
+		// instrumentation (the vo objects) registers into it.
+		col = obs.New(*ncpu)
+	}
 	cfg := hw.DefaultConfig()
 	cfg.NumCPUs = *ncpu
 	machine := hw.NewMachine(cfg)
+	if col != nil {
+		machine.SetTelemetry(col)
+	}
 	mc, err := core.New(core.Config{Machine: machine, Policy: pol})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mercury: %s, tracking=%s, mode=%v\n", machine, *policy, mc.Mode())
 
+	if sub != "" {
+		switch sub {
+		case "stats":
+			statsCmd(mc, col)
+		case "trace":
+			traceCmd(mc, col, *out)
+		default:
+			log.Fatalf("unknown subcommand %q (want stats or trace)", sub)
+		}
+		return
+	}
+
+	fmt.Printf("mercury: %s, tracking=%s, mode=%v\n", machine, *policy, mc.Mode())
 	switch *demo {
 	case "lifecycle":
 		lifecycle(mc)
@@ -52,6 +90,64 @@ func main() {
 	default:
 		log.Fatalf("unknown demo %q", *demo)
 	}
+}
+
+// statsCmd runs the mixed workload with telemetry installed and prints
+// the whole metrics registry in the Prometheus text format.
+func statsCmd(mc *core.Mercury, col *obs.Collector) {
+	runMixedWorkload(mc)
+	col.Registry.WriteProm(os.Stdout)
+}
+
+// traceCmd records span traces plus the xentrace ring across an
+// attach/host/detach cycle and writes a Chrome trace_event file
+// (load it in chrome://tracing or Perfetto).
+func traceCmd(mc *core.Mercury, col *obs.Collector, out string) {
+	mc.VMM.Trace.Enable()
+	c := mc.M.BootCPU()
+	must(mc.SwitchSync(c, core.ModePartialVirtual))
+	domU, err := mc.VMM.HypDomctlCreateFromFrames(c, mc.Dom, "guest", 256)
+	must(err)
+	must(mc.VMM.HypDomctlDestroy(c, mc.Dom, domU.ID))
+	must(mc.SwitchSync(c, core.ModeNative))
+	mc.VMM.Trace.Disable()
+
+	spans := col.Tracer.Spans()
+	evs, dropped := mc.VMM.Trace.SnapshotWithDropped()
+	ext := make([]obs.ExtEvent, 0, len(evs))
+	for _, e := range evs {
+		ext = append(ext, obs.ExtEvent{
+			TS: e.TSC, CPU: e.CPU, Name: "xentrace/" + e.Kind.String(),
+			Args: map[string]any{"dom": int(e.Dom), "arg": e.Arg},
+		})
+	}
+	f, err := os.Create(out)
+	must(err)
+	defer f.Close()
+	must(obs.WriteChromeTrace(f, mc.M.Hz, spans, ext))
+	fmt.Printf("wrote %s: %d spans, %d xentrace events (%d dropped by ring wrap, %d spans over budget)\n",
+		out, len(spans), len(evs), dropped, col.Tracer.Dropped())
+}
+
+// runMixedWorkload exercises file I/O, memory mapping, a mode-switch
+// round trip and process lifecycle — enough to touch every instrumented
+// subsystem.
+func runMixedWorkload(mc *core.Mercury) {
+	k := mc.K
+	boot := mc.M.BootCPU()
+	k.Spawn(boot, "mix", guest.DefaultImage("mix"), func(p *guest.Proc) {
+		fd, _ := p.Creat("/data")
+		p.Write(fd, 256<<10)
+		p.Close(fd)
+		base := p.Mmap(64, guest.ProtRead|guest.ProtWrite, false)
+		p.Touch(base, 64, true)
+		must(mc.SwitchSync(p.CPU(), core.ModePartialVirtual))
+		p.Touch(base, 64, false)
+		must(mc.SwitchSync(p.CPU(), core.ModeNative))
+		p.Fork("child", func(cp *guest.Proc) { cp.Exit(0) })
+		p.Wait()
+	})
+	k.Run(boot)
 }
 
 func lifecycle(mc *core.Mercury) {
@@ -113,21 +209,8 @@ func scenarios(mc *core.Mercury) {
 
 func stats(mc *core.Mercury) {
 	// Run a mixed workload, then dump every subsystem's counters.
+	runMixedWorkload(mc)
 	k := mc.K
-	boot := mc.M.BootCPU()
-	k.Spawn(boot, "mix", guest.DefaultImage("mix"), func(p *guest.Proc) {
-		fd, _ := p.Creat("/data")
-		p.Write(fd, 256<<10)
-		p.Close(fd)
-		base := p.Mmap(64, guest.ProtRead|guest.ProtWrite, false)
-		p.Touch(base, 64, true)
-		must(mc.SwitchSync(p.CPU(), core.ModePartialVirtual))
-		p.Touch(base, 64, false)
-		must(mc.SwitchSync(p.CPU(), core.ModeNative))
-		p.Fork("child", func(cp *guest.Proc) { cp.Exit(0) })
-		p.Wait()
-	})
-	k.Run(boot)
 	fmt.Printf("kernel: %d forks, %d ctx switches, %d syscalls, %d faults\n",
 		k.Stats.Forks.Load(), k.Stats.CtxSwitches.Load(),
 		k.Stats.Syscalls.Load(), k.Stats.PageFaults.Load())

@@ -28,7 +28,14 @@ const switchLoadProcs = 14
 // process load, RDTSC-style: the cycle counter is read at the beginning
 // and end of each switch inside the engine itself.
 func ModeSwitchBench(samples int, policy core.TrackingPolicy) (SwitchResult, error) {
-	opt := Options{Policy: policy}
+	return ModeSwitchBenchOpts(samples, policy, Options{})
+}
+
+// ModeSwitchBenchOpts is ModeSwitchBench with explicit build options —
+// the way to attach a telemetry collector (opt.Collector) and get a
+// per-phase span decomposition of each measured switch.
+func ModeSwitchBenchOpts(samples int, policy core.TrackingPolicy, opt Options) (SwitchResult, error) {
+	opt.Policy = policy
 	s, err := Build(MN, opt)
 	if err != nil {
 		return SwitchResult{}, fmt.Errorf("bench: %w", err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guest"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/vo"
 	"repro/internal/xen"
 )
@@ -60,6 +61,14 @@ type Options struct {
 	// AckEvery configures the synthetic remote's ack window for stream
 	// traffic (0 = pure sink).
 	AckEvery int
+	// Collector, when non-nil, is installed on the built machine before
+	// construction so boot-time instrumentation (vo objects, the VMM)
+	// registers into it.
+	Collector *obs.Collector
+	// CollectorFor, when non-nil, supplies a per-configuration collector
+	// for builders that construct several systems (LmbenchTable); it
+	// takes precedence over Collector.
+	CollectorFor func(SystemKey) *obs.Collector
 }
 
 func (o *Options) fill() {
@@ -83,6 +92,13 @@ func Build(key SystemKey, opt Options) (*System, error) {
 	m := hw.NewMachine(cfg)
 	m.NIC.Reflector = guest.EchoReflector(MeasuredNetID, opt.AckEvery)
 	m.NIC.ReflectDelay = 18_000 // remote endpoint per-packet processing
+	if opt.CollectorFor != nil {
+		if col := opt.CollectorFor(key); col != nil {
+			m.SetTelemetry(col)
+		}
+	} else if opt.Collector != nil {
+		m.SetTelemetry(opt.Collector)
+	}
 
 	s := &System{Key: key, M: m, NCPU: opt.NCPU}
 	var err error

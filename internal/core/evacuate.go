@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/xen"
 )
 
@@ -80,6 +81,11 @@ func (mc *Mercury) EvacuateOnFailure(c *hw.CPU, fp FailurePredictor,
 		return nil, nil
 	}
 	rep := &EvacuationReport{Predicted: predicted.Error()}
+	sp := obs.Begin(mc.telCol(), c.ID, c.Now(), "core/evacuate")
+	defer func() { sp.EndArg(c.Now(), uint64(len(rep.Evacuated))) }()
+	if h := mc.tel(); h != nil {
+		h.evacs.Inc()
+	}
 
 	if mc.Mode() == ModeNative {
 		if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {

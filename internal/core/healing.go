@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/guest"
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // Self-healing (§6.2): sensors watch for anomalies in the running OS;
@@ -48,6 +49,17 @@ func (mc *Mercury) SelfHeal(c *hw.CPU, sensors []Sensor, repair Repair) (*HealRe
 		return nil, nil
 	}
 	rep := &HealReport{Sensor: tripped.Name, Anomaly: anomaly.Error()}
+	sp := obs.Begin(mc.telCol(), c.ID, c.Now(), "core/self-heal")
+	defer func() {
+		healed := uint64(0)
+		if rep.Healed {
+			healed = 1
+		}
+		sp.EndArg(c.Now(), healed)
+	}()
+	if h := mc.tel(); h != nil {
+		h.healings.Inc()
+	}
 
 	wasNative := mc.Mode() == ModeNative
 	if wasNative {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/guest"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/vo"
 	"repro/internal/xen"
 )
@@ -107,7 +108,58 @@ type Mercury struct {
 	// successful switch).
 	lastErr atomic.Pointer[switchError]
 
+	// obsCache holds pre-resolved registry handles for the installed
+	// collector so the switch path skips registry lookups.
+	obsCache atomic.Pointer[coreObs]
+
 	Stats Stats
+}
+
+// coreObs caches Mercury's telemetry handles for one collector.
+type coreObs struct {
+	col       *obs.Collector
+	attaches  *obs.Counter
+	detaches  *obs.Counter
+	deferred  *obs.Counter
+	failed    *obs.Counter
+	healings  *obs.Counter
+	evacs     *obs.Counter
+	attachCyc *obs.Histogram
+	detachCyc *obs.Histogram
+}
+
+// tel returns the cached telemetry handles, or nil when no collector
+// is installed. The disabled path is a single atomic load.
+func (mc *Mercury) tel() *coreObs {
+	col := mc.M.Telemetry()
+	if col == nil {
+		return nil
+	}
+	h := mc.obsCache.Load()
+	if h == nil || h.col != col {
+		r := col.Registry
+		h = &coreObs{
+			col:       col,
+			attaches:  r.Counter("core", "attaches_total"),
+			detaches:  r.Counter("core", "detaches_total"),
+			deferred:  r.Counter("core", "switch_deferred_total"),
+			failed:    r.Counter("core", "switch_failed_total"),
+			healings:  r.Counter("core", "healings_total"),
+			evacs:     r.Counter("core", "evacuations_total"),
+			attachCyc: r.Histogram("core", "attach_cycles"),
+			detachCyc: r.Histogram("core", "detach_cycles"),
+		}
+		mc.obsCache.Store(h)
+	}
+	return h
+}
+
+// telCol returns the collector for span creation, or nil.
+func (mc *Mercury) telCol() *obs.Collector {
+	if h := mc.tel(); h != nil {
+		return h.col
+	}
+	return nil
 }
 
 // switchError boxes an error for atomic storage.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // SMP mode-switch coordination (§5.4): the control processor (CP, the
@@ -57,6 +58,7 @@ func (mc *Mercury) rendezvous(c *hw.CPU, target Mode) func() {
 // arrives: report ready, hold until released, then reload local state.
 func (mc *Mercury) apRendezvousISR(c *hw.CPU, f *hw.TrapFrame) {
 	st := &mc.smp
+	sp := obs.Begin(mc.telCol(), c.ID, c.Now(), "switch/ap-rendezvous")
 	c.Charge(mc.M.Costs.IPIDeliver)
 	st.ready.Add(1)
 	for !st.released.Load() {
@@ -75,6 +77,7 @@ func (mc *Mercury) apRendezvousISR(c *hw.CPU, f *hw.TrapFrame) {
 	}
 	c.Charge(mc.M.Costs.StateReload)
 	patchFramePL(f, plFor(flip(target)), plFor(target))
+	sp.EndArg(c.Now(), uint64(target))
 	st.done.Add(1)
 }
 

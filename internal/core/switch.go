@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/xen"
 )
 
@@ -20,10 +21,20 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 		return
 	}
 
+	h := mc.tel()
+	var col *obs.Collector
+	if h != nil {
+		col = h.col
+	}
+
 	// Commit gate: sensitive code must not be in flight (§5.1.1). The
 	// kernel would otherwise be left straddling two modes.
 	if mc.K.VO().Refs() != 0 {
 		mc.Stats.Deferred.Add(1)
+		if h != nil {
+			h.deferred.Inc()
+			col.Tracer.Instant(c.ID, c.Now(), "switch/deferred", uint64(target))
+		}
 		mc.K.AddTimer(c, c.Now()+mc.retryTicks, func(tc *hw.CPU) {
 			tc.LAPIC.Post(hw.VecModeSwitch)
 		})
@@ -32,35 +43,62 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 
 	// SMP: bring every other processor to a safe rendezvous point
 	// before touching global state (§5.4).
+	gsp := obs.Begin(col, c.ID, c.Now(), "switch/rendezvous-gather")
 	release := mc.rendezvous(c, target)
+	gsp.End(c.Now())
 
+	// The root span opens at the same instant the cycle accounting
+	// starts, so its duration equals Stats.LastAttachCyc/LastDetachCyc
+	// and the phase spans inside attach/detach tile it exactly.
 	start := c.Now()
+	rootName := "switch/attach"
+	if target == ModeNative {
+		rootName = "switch/detach"
+	}
+	root := obs.Begin(col, c.ID, start, rootName)
 	var err error
 	switch {
 	case target == ModeNative:
 		err = mc.detach(c, f)
 		if err == nil {
-			mc.Stats.LastDetachCyc.Store(c.Now() - start)
+			end := c.Now()
+			mc.Stats.LastDetachCyc.Store(end - start)
 			mc.Stats.Detaches.Add(1)
+			if h != nil {
+				h.detaches.Inc()
+				h.detachCyc.Observe(end - start)
+			}
 		}
 	default:
 		err = mc.attach(c, f, target)
 		if err == nil {
-			mc.Stats.LastAttachCyc.Store(c.Now() - start)
+			end := c.Now()
+			mc.Stats.LastAttachCyc.Store(end - start)
 			mc.Stats.Attaches.Add(1)
+			if h != nil {
+				h.attaches.Inc()
+				h.attachCyc.Observe(end - start)
+			}
 		}
 	}
 	if err != nil {
 		// Failure-resistant switch (§8 future work, implemented here):
 		// attach/detach rolled themselves back; the system keeps running
 		// in its previous mode and the failure is reported, not fatal.
+		root.EndArg(c.Now(), 1)
 		mc.Stats.FailedSwitches.Add(1)
+		if h != nil {
+			h.failed.Inc()
+		}
 		mc.setLastError(err)
 		mc.smp.target.Store(int32(mc.Mode())) // APs reload the old mode
 		mc.pending.Store(-1)
+		rsp := obs.Begin(col, c.ID, c.Now(), "switch/rendezvous-release")
 		release()
+		rsp.End(c.Now())
 		return
 	}
+	root.EndArg(c.Now(), 0)
 	mc.setLastError(nil)
 	if mc.VMM.Trace != nil {
 		if target == ModeNative {
@@ -71,7 +109,9 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	}
 	mc.mode.Store(int32(target))
 	mc.pending.Store(-1)
+	rsp := obs.Begin(col, c.ID, c.Now(), "switch/rendezvous-release")
 	release()
+	rsp.End(c.Now())
 }
 
 // attach activates the pre-cached VMM underneath the running kernel
@@ -79,15 +119,18 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 // and kernel state back so the system keeps running natively.
 func (mc *Mercury) attach(c *hw.CPU, f *hw.TrapFrame, target Mode) error {
 	k, v := mc.K, mc.VMM
+	col := mc.telCol()
 
 	// -- state reloading, part 1 (§5.1.3): the VMM takes over the
 	// hardware. Its descriptor tables carry kernel descriptors at PL1.
+	ph := obs.Begin(col, c.ID, c.Now(), "phase/state-reload")
 	prevPriv := mc.Dom.Privileged
 	v.Activate(c)
 	v.SetCurrent(c, mc.Dom)
 	mc.Dom.State = xen.DomRunning
 	mc.Dom.Privileged = target == ModePartialVirtual
 	c.Charge(mc.M.Costs.StateReload)
+	ph.End(c.Now())
 
 	rollback := func() {
 		mc.Dom.Privileged = prevPriv
@@ -102,29 +145,38 @@ func (mc *Mercury) attach(c *hw.CPU, f *hw.TrapFrame, target Mode) error {
 	// (stale) table is rebuilt by scanning and pinning every live root;
 	// under active tracking it is already valid. A validation failure
 	// here means the OS was in an inconsistent state (§8): roll back.
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/frame-recompute")
 	if mc.Policy == TrackRecompute {
 		if err := v.RecomputeFrameInfo(c, mc.Dom, k.LiveRoots(c)); err != nil {
+			ph.End(c.Now())
 			rollback()
 			return fmt.Errorf("attach: %w", err)
 		}
 	}
+	ph.End(c.Now())
 
 	// -- state transfer (§5.1.2): kernel segments drop to PL1; cached
 	// selectors on sleeping threads' kernel stacks are patched; the
 	// kernel's trap table and timer move behind the VMM.
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/segment-pl-flip")
 	k.GDT.SetKernelDPL(hw.PL1)
 	mc.fixupSelectors(c, hw.PL0, hw.PL1)
+	ph.End(c.Now())
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/interrupt-rebind")
 	v.HypSetTrapTable(c, mc.Dom, k.TrapGates())
 	v.HypBindVirqTimer(c, mc.Dom, k.TimerUpcall())
+	ph.End(c.Now())
 
 	// -- shadow mode only: hardware must leave the guest's own tables
 	// and run on the freshly translated shadows (§3.2.2). Direct mode
 	// skips this entirely — the reason Mercury prefers it.
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/shadow-translate")
 	if v.ShadowMode {
 		groot := c.ReadCR3()
 		if mc.Dom.HasPinned(groot) {
 			hwRoot, err := v.HWRoot(c, mc.Dom, groot)
 			if err != nil {
+				ph.End(c.Now())
 				rollback()
 				return fmt.Errorf("attach: building live shadow: %w", err)
 			}
@@ -132,15 +184,17 @@ func (mc *Mercury) attach(c *hw.CPU, f *hw.TrapFrame, target Mode) error {
 			c.WriteCR3(hwRoot)
 		}
 	}
+	ph.End(c.Now())
 
 	// -- relocation (§4.2): swap the virtualization object pointer.
+	// The interrupted context then resumes deprivileged: kernel-mode
+	// frames get their privilege bits patched in the interrupt return
+	// stack (§5.1.3).
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/vo-relocate")
 	k.SetVO(mc.VirtualVO)
 	k.RearmTick(c)
-
-	// -- state reloading, part 2: the interrupted context resumes
-	// deprivileged. Kernel-mode frames get their privilege bits patched
-	// in the interrupt return stack (§5.1.3).
 	patchFramePL(f, hw.PL0, hw.PL1)
+	ph.End(c.Now())
 	return nil
 }
 
@@ -148,6 +202,7 @@ func (mc *Mercury) attach(c *hw.CPU, f *hw.TrapFrame, target Mode) error {
 // (virtual -> native).
 func (mc *Mercury) detach(c *hw.CPU, f *hw.TrapFrame) error {
 	k, v := mc.K, mc.VMM
+	col := mc.telCol()
 
 	// A driver domain hosting other live domains cannot leave: they
 	// would lose their device path. They must be migrated or destroyed
@@ -160,39 +215,48 @@ func (mc *Mercury) detach(c *hw.CPU, f *hw.TrapFrame) error {
 
 	// -- shadow mode only: point hardware back at the guest's own
 	// tables before the shadows are torn down.
+	ph := obs.Begin(col, c.ID, c.Now(), "phase/shadow-return")
 	if v.ShadowMode {
 		if groot := mc.Dom.VCPU0().CR3(); groot != 0 {
 			c.WriteCR3(groot)
 		}
 	}
+	ph.End(c.Now())
 
 	// -- frame accounting: drop the VMM's type/count state. Cheap —
 	// this asymmetry is why detach (~0.06 ms) is faster than attach
 	// (~0.22 ms) (§7.4).
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/frame-release")
 	if mc.Policy == TrackRecompute {
 		v.ReleaseFrameInfo(c, mc.Dom)
 	}
+	ph.End(c.Now())
 
 	// -- state transfer: kernel segments return to PL0; cached
 	// selectors on sleeping threads are patched back.
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/segment-pl-flip")
 	k.GDT.SetKernelDPL(hw.PL0)
 	mc.fixupSelectors(c, hw.PL1, hw.PL0)
+	ph.End(c.Now())
 
 	// -- state reloading: the kernel re-owns the hardware tables. The
 	// handler runs at PL0 (VMM context), so the privileged loads are
 	// legal here.
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/state-reload")
 	v.Deactivate(c)
 	v.SetCurrent(c, nil)
 	c.Lgdt(k.GDT)
 	c.Lidt(k.IDT)
 	c.Charge(mc.M.Costs.StateReload)
+	ph.End(c.Now())
 
-	// -- relocation: swap the object pointer and re-arm the timer on
-	// bare hardware.
+	// -- relocation: swap the object pointer, re-arm the timer on bare
+	// hardware, and repatch the interrupt return frame.
+	ph = obs.Begin(col, c.ID, c.Now(), "phase/vo-relocate")
 	k.SetVO(mc.NativeVO)
 	k.RearmTick(c)
-
 	patchFramePL(f, hw.PL1, hw.PL0)
+	ph.End(c.Now())
 	return nil
 }
 

@@ -1,6 +1,11 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Config describes a machine to build. The defaults mirror the paper's
 // testbed: two 3 GHz Xeons, with memory scaled down (the simulation's
@@ -43,7 +48,20 @@ type Machine struct {
 	// Frames is the boot-time frame allocator. The boot path partitions
 	// it between the OS and the pre-cached VMM.
 	Frames *FrameAllocator
+
+	// telemetry is the installed collector (nil = telemetry disabled).
+	// Every instrumentation hook in the tree gates on one atomic load
+	// of this pointer, the same discipline as xen.TraceBuffer.Emit.
+	telemetry atomic.Pointer[obs.Collector]
 }
+
+// SetTelemetry installs (or, with nil, removes) the machine's
+// telemetry collector. Safe to call while the machine runs.
+func (m *Machine) SetTelemetry(col *obs.Collector) { m.telemetry.Store(col) }
+
+// Telemetry returns the installed collector, or nil. One atomic load:
+// this is the whole cost of every disabled telemetry hook.
+func (m *Machine) Telemetry() *obs.Collector { return m.telemetry.Load() }
 
 // NewMachine builds a machine from cfg.
 func NewMachine(cfg Config) *Machine {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/xen"
 )
 
@@ -71,6 +72,22 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 	dLo, dHi := into.Frames.Range()
 	delta := int64(dLo) - int64(lo)
 
+	// Telemetry: gauges track the pre-copy convergence, the counter
+	// totals wire traffic, and the histogram records downtimes.
+	col := src.M.Telemetry()
+	var roundsGauge, dirtyGauge *obs.Gauge
+	var pagesSent *obs.Counter
+	var downtimeCyc *obs.Histogram
+	if col != nil {
+		r := col.Registry
+		roundsGauge = r.Gauge("migrate", "precopy_rounds")
+		dirtyGauge = r.Gauge("migrate", "dirty_pages_last_round")
+		pagesSent = r.Counter("migrate", "pages_sent_total")
+		downtimeCyc = r.Histogram("migrate", "downtime_cycles")
+	}
+	root := obs.Begin(col, c.ID, c.Now(), "migrate/live")
+	defer func() { root.EndArg(c.Now(), uint64(rep.TotalPages)) }()
+
 	sendPages := func(pages []hw.PFN) {
 		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 		for _, pfn := range pages {
@@ -81,6 +98,9 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 			c.Charge(hw.Cycles(uint64(hw.PageSize) * 8 * src.M.Hz / cfg.Link.BandwidthBps))
 		}
 		rep.TotalPages += len(pages)
+		if pagesSent != nil {
+			pagesSent.Add(uint64(len(pages)))
+		}
 	}
 
 	// Round 0: everything touched so far, with the dirty log armed so
@@ -98,8 +118,13 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 	if cfg.Mutator != nil {
 		cfg.Mutator(0)
 	}
+	sp := obs.Begin(col, c.ID, c.Now(), "migrate/round")
 	sendPages(first)
+	sp.EndArg(c.Now(), uint64(len(first)))
 	rep.Rounds = append(rep.Rounds, RoundReport{Round: 0, Pages: len(first)})
+	if roundsGauge != nil {
+		roundsGauge.Set(1)
+	}
 
 	// Iterative rounds.
 	stopThreshold := cfg.StopThreshold
@@ -112,18 +137,28 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 			cfg.Mutator(round)
 		}
 		dirty = filterRange(mem.CollectDirty(), lo, hi)
+		if dirtyGauge != nil {
+			dirtyGauge.Set(int64(len(dirty)))
+		}
 		if len(dirty) <= stopThreshold {
 			break
 		}
+		sp := obs.Begin(col, c.ID, c.Now(), "migrate/round")
 		sendPages(dirty)
+		sp.EndArg(c.Now(), uint64(len(dirty)))
 		rep.Rounds = append(rep.Rounds, RoundReport{Round: round, Pages: len(dirty)})
+		if roundsGauge != nil {
+			roundsGauge.Set(int64(round + 1))
+		}
 		dirty = nil
 	}
 
 	// Stop-and-copy: pause, transfer the remainder plus vcpu state,
 	// resume on the destination.
 	stopStart := c.Now()
+	stopSpan := obs.Begin(col, c.ID, stopStart, "migrate/stop-and-copy")
 	if err := src.HypDomctlPause(c, caller, d.ID); err != nil {
+		stopSpan.End(c.Now())
 		return nil, nil, err
 	}
 	final := filterRange(mem.CollectDirty(), lo, hi)
@@ -143,10 +178,15 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 		relocateTables(c, dst.M.Mem, img, delta)
 	}
 	if err := src.HypDomctlDestroy(c, caller, d.ID); err != nil {
+		stopSpan.End(c.Now())
 		return nil, nil, err
 	}
 	into.State = xen.DomRunning
+	stopSpan.EndArg(c.Now(), uint64(len(final)))
 	rep.DowntimeCyc = c.Now() - stopStart
+	if downtimeCyc != nil {
+		downtimeCyc.Observe(rep.DowntimeCyc)
+	}
 	rep.TotalCyc = c.Now() - start
 	rep.DowntimeUSec = float64(rep.DowntimeCyc) / float64(src.M.Hz) * 1e6
 	rep.TotalUSec = float64(rep.TotalCyc) / float64(src.M.Hz) * 1e6

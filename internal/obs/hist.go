@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count of a log-scaled histogram: bucket b
+// holds observations whose bit length is b, i.e. values in
+// [2^(b-1), 2^b). Cycle counts span ~nine decades (a cached load to a
+// multi-second run), which a 65-bucket power-of-two ladder covers with
+// bounded error and lock-free updates.
+const histBuckets = 65
+
+// Histogram accumulates cycle observations into power-of-two buckets.
+// Observe is wait-free: two atomic adds plus one atomic add on the
+// bucket. Quantiles are estimated from the bucket ladder (the p50/p95/
+// p99 a latency table needs, at log-scale resolution).
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Uint64
+	max   atomic.Uint64
+	bkts  [histBuckets]atomic.Uint64
+}
+
+// NewHistogram builds an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.bkts[bits.Len64(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// ladder: the geometric midpoint of the bucket holding the q-th
+// observation, clamped to the observed maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.bkts[b].Load()
+		if cum >= rank {
+			est := bucketMid(b)
+			if m := float64(h.max.Load()); est > m {
+				est = m
+			}
+			return est
+		}
+	}
+	return float64(h.max.Load())
+}
+
+// bucketMid returns the representative value of bucket b.
+func bucketMid(b int) float64 {
+	if b == 0 {
+		return 0 // only the value 0 lands here
+	}
+	lo := float64(uint64(1) << (b - 1))
+	return lo * 1.5 // midpoint of [2^(b-1), 2^b)
+}
+
+// bucketUpper returns the exclusive upper bound of bucket b (as a
+// float so bucket 64 does not overflow).
+func bucketUpper(b int) float64 {
+	if b >= 64 {
+		return float64(1<<63) * 2
+	}
+	return float64(uint64(1) << b)
+}
+
+// Buckets returns the non-empty buckets as (upper bound, cumulative
+// count) pairs, the shape a Prometheus exposition needs.
+func (h *Histogram) Buckets() (uppers []float64, cumulative []uint64) {
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		n := h.bkts[b].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		uppers = append(uppers, bucketUpper(b))
+		cumulative = append(cumulative, cum)
+	}
+	return uppers, cumulative
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpanNestingAndParents(t *testing.T) {
+	tr := NewTracer(1, 0)
+	root := tr.Begin(0, 100, "switch/attach")
+	child := tr.Begin(0, 110, "phase/frame-recompute")
+	tr.Complete(0, 112, 118, "xen/hypercall", 7)
+	child.End(130)
+	root.EndArg(150, 0)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, hc := byName["switch/attach"], byName["phase/frame-recompute"], byName["xen/hypercall"]
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d", r.Parent)
+	}
+	if c.Parent != r.ID {
+		t.Fatalf("child parent = %d, root id = %d", c.Parent, r.ID)
+	}
+	if hc.Parent != c.ID {
+		t.Fatalf("hypercall parent = %d, phase id = %d", hc.Parent, c.ID)
+	}
+	if hc.Arg != 7 || hc.Dur() != 6 {
+		t.Fatalf("hypercall span: %+v", hc)
+	}
+	if r.Dur() != 50 || c.Dur() != 20 {
+		t.Fatalf("durations: root %d child %d", r.Dur(), c.Dur())
+	}
+}
+
+func TestSpanEndClosesUnclosedChildren(t *testing.T) {
+	// A rollback path bails out of a phase without unwinding spans one
+	// by one: ending the root must close everything above it.
+	tr := NewTracer(1, 0)
+	root := tr.Begin(0, 10, "root")
+	tr.Begin(0, 20, "orphan")
+	root.EndArg(50, 1)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	for _, s := range spans {
+		if s.End != 50 {
+			t.Fatalf("%s end = %d", s.Name, s.End)
+		}
+		if s.Name == "orphan" && s.Arg != 0 {
+			t.Fatalf("orphan inherited arg %d", s.Arg)
+		}
+		if s.Name == "root" && s.Arg != 1 {
+			t.Fatalf("root arg = %d", s.Arg)
+		}
+	}
+	// The stack is empty: a new span is top-level.
+	next := tr.Begin(0, 60, "next")
+	next.End(70)
+	for _, s := range tr.Spans() {
+		if s.Name == "next" && s.Parent != 0 {
+			t.Fatalf("next parent = %d", s.Parent)
+		}
+	}
+}
+
+func TestSpanPerCPUStacksIndependent(t *testing.T) {
+	tr := NewTracer(2, 0)
+	a := tr.Begin(0, 10, "cpu0-root")
+	b := tr.Begin(1, 12, "cpu1-root")
+	// cpu1's root must not become a child of cpu0's.
+	b.End(20)
+	a.End(30)
+	for _, s := range tr.Spans() {
+		if s.Parent != 0 {
+			t.Fatalf("%s has parent %d", s.Name, s.Parent)
+		}
+	}
+}
+
+func TestSpanInstant(t *testing.T) {
+	tr := NewTracer(1, 0)
+	root := tr.Begin(0, 5, "root")
+	tr.Instant(0, 7, "event", 42)
+	root.End(9)
+	for _, s := range tr.Spans() {
+		if s.Name == "event" {
+			if s.Kind() != SpanInstant || s.Arg != 42 || s.Parent == 0 {
+				t.Fatalf("instant span: %+v", s)
+			}
+		}
+	}
+}
+
+func TestSpanRetentionBudget(t *testing.T) {
+	tr := NewTracer(1, 3)
+	for i := 0; i < 5; i++ {
+		tr.Complete(0, uint64(i), uint64(i+1), "x", 0)
+	}
+	if n := len(tr.Spans()); n != 3 {
+		t.Fatalf("retained %d spans", n)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestZeroSpanRefInert(t *testing.T) {
+	var sp SpanRef
+	if sp.Active() {
+		t.Fatal("zero ref active")
+	}
+	sp.End(10) // must not panic
+	sp.EndArg(10, 1)
+	sp = Begin(nil, 0, 5, "x")
+	sp.End(6)
+}
+
+func TestTracerParallelUse(t *testing.T) {
+	tr := NewTracer(4, 0)
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 4; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Begin(cpu, uint64(i), "work")
+				tr.Instant(cpu, uint64(i), "tick", uint64(i))
+				sp.End(uint64(i + 1))
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 4*200*2 {
+		t.Fatalf("got %d spans", n)
+	}
+}
+
+// BenchmarkNilCollectorBegin measures the disabled path every hook
+// compiles down to when no collector is installed: a nil check and an
+// inert SpanRef.
+func BenchmarkNilCollectorBegin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := Begin(nil, 0, uint64(i), "x")
+		sp.End(uint64(i))
+	}
+}

@@ -15,7 +15,9 @@ type Direct struct {
 }
 
 // NewDirect returns the bare-hardware operation set.
-func NewDirect(m *hw.Machine) *Direct { return &Direct{M: m} }
+func NewDirect(m *hw.Machine) *Direct {
+	return &Direct{M: m, Stats: newStats(m, "direct")}
+}
 
 // Name identifies the object.
 func (d *Direct) Name() string { return "direct" }

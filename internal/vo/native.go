@@ -30,7 +30,7 @@ type Native struct {
 
 // NewNative returns Mercury's native-mode object.
 func NewNative(m *hw.Machine) *Native {
-	return &Native{d: NewDirect(m)}
+	return &Native{d: NewDirect(m), Stats: newStats(m, "native")}
 }
 
 // call wraps one operation: object-table indirection plus reference

@@ -25,7 +25,7 @@ type Virtual struct {
 
 // NewVirtual returns the virtual-mode object for domain d.
 func NewVirtual(v *xen.VMM, d *xen.Domain) *Virtual {
-	return &Virtual{V: v, D: d}
+	return &Virtual{V: v, D: d, Stats: newStats(v.M, "virtual")}
 }
 
 func (o *Virtual) call(c *hw.CPU) func() {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/xen"
 )
 
@@ -71,10 +72,26 @@ type Object interface {
 	InvalidatePage(c *hw.CPU, va hw.VirtAddr)
 }
 
-// Stats counts operations through a virtualization object.
+// Stats counts operations through a virtualization object. The fields
+// are free-standing obs counters: when the owning machine carries a
+// telemetry collector at construction time, the constructors register
+// these same objects into its registry (labelled by object name), so
+// Stats readers and the metrics exporters observe one shared count —
+// a single counting path, no parallel bookkeeping.
 type Stats struct {
-	Calls     atomic.Uint64
-	PTEWrites atomic.Uint64
+	Calls     *obs.Counter
+	PTEWrites *obs.Counter
+}
+
+// newStats builds the counters for one object instance, adopting them
+// into m's registry when a collector is installed.
+func newStats(m *hw.Machine, object string) Stats {
+	s := Stats{Calls: obs.NewCounter(), PTEWrites: obs.NewCounter()}
+	if col := m.Telemetry(); col != nil {
+		col.Registry.RegisterCounter(s.Calls, "vo", "calls_total", obs.L("object", object))
+		col.Registry.RegisterCounter(s.PTEWrites, "vo", "pte_writes_total", obs.L("object", object))
+	}
+	return s
 }
 
 // refcount implements the entry/exit reference counting shared by the

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // The split device model (§5.2): frontend drivers in an unprivileged
@@ -78,6 +79,12 @@ type BlkBackendStats struct {
 // context (the VMM dispatches the frontend's event here).
 func (b *BlkBackend) OnEvent(c *hw.CPU) {
 	b.Stats.Events.Add(1)
+	var sp obs.SpanRef
+	h := b.V.tel()
+	if h != nil {
+		h.blkEvents.Inc()
+		sp = obs.Begin(h.col, c.ID, c.Now(), "xen/blk-backend-event")
+	}
 	var reqs []BlkRequest
 	for {
 		q, ok := b.Ring.GetRequest(c)
@@ -87,9 +94,14 @@ func (b *BlkBackend) OnEvent(c *hw.CPU) {
 		reqs = append(reqs, q)
 	}
 	if len(reqs) == 0 {
+		sp.End(c.Now())
 		return
 	}
 	b.Stats.Requests.Add(uint64(len(reqs)))
+	if h != nil {
+		h.blkRequests.Add(uint64(len(reqs)))
+		defer sp.EndArg(c.Now(), uint64(len(reqs)))
+	}
 
 	// Sort by block number and coalesce adjacent same-direction requests
 	// into single transfers.
@@ -286,6 +298,13 @@ type NetBackendStats struct {
 // OnEvent drains pending transmit requests.
 func (nb *NetBackend) OnEvent(c *hw.CPU) {
 	nb.Stats.Events.Add(1)
+	h := nb.V.tel()
+	var sp obs.SpanRef
+	tx := uint64(0)
+	if h != nil {
+		sp = obs.Begin(h.col, c.ID, c.Now(), "xen/net-backend-event")
+		defer func() { sp.EndArg(c.Now(), tx) }()
+	}
 	did := false
 	for {
 		q, ok := nb.TxRing.GetRequest(c)
@@ -307,6 +326,10 @@ func (nb *NetBackend) OnEvent(c *hw.CPU) {
 		unmap()
 		nb.Dev.Transmit(c, data)
 		nb.Stats.TxPackets.Add(1)
+		if h != nil {
+			h.netTxPackets.Inc()
+			tx++
+		}
 		nb.TxRing.PutResponse(c, NetTxResponse{ID: q.ID})
 	}
 	if did && nb.Notify != nil {
@@ -336,6 +359,9 @@ func (nb *NetBackend) DeliverRx(c *hw.CPU, data []byte) bool {
 	copy(nb.V.M.Mem.FrameBytes(pfn)[:n], data[:n])
 	unmap()
 	nb.Stats.RxPackets.Add(1)
+	if h := nb.V.tel(); h != nil {
+		h.netRxPackets.Inc()
+	}
 	nb.RxRing.PutResponse(c, NetRxDone{ID: buf.ID, Len: n})
 	if nb.Notify != nil {
 		nb.Notify(c)

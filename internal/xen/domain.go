@@ -119,12 +119,23 @@ func (d *Domain) bounce(c *hw.CPU, f *hw.TrapFrame) {
 		panic(fmt.Sprintf("xen: dom%d has no handler for vector %d (fatal guest fault)",
 			d.ID, f.Vector))
 	}
+	h := d.VMM.tel()
+	var start hw.Cycles
+	if h != nil {
+		start = c.Now()
+	}
 	c.Charge(d.VMM.M.Costs.FaultBounce)
 	d.Stats.FaultBounces.Add(1)
 	d.VMM.traceEmit(c, TrcFaultBounce, d, uint64(f.Vector))
 	prev := c.SetMode(hw.PL1)
 	g.Handler(c, f)
 	c.SetMode(prev)
+	if h != nil {
+		end := c.Now()
+		h.faultBounces.Inc()
+		h.faultBounceCyc.Observe(end - start)
+		h.col.Tracer.Complete(c.ID, start, end, "xen/fault-bounce", uint64(f.Vector))
+	}
 }
 
 // HasPinned reports whether root is a pinned page-directory of d.

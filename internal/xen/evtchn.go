@@ -99,6 +99,10 @@ func (v *VMM) EvtchnSend(c *hw.CPU, d *Domain, p Port) error {
 	c.Charge(v.M.Costs.EventSend)
 	d.Stats.EventsOut.Add(1)
 	v.traceEmit(c, TrcEventSend, d, uint64(p))
+	if h := v.tel(); h != nil {
+		h.eventsSent.Inc()
+		h.col.Tracer.Instant(c.ID, c.Now(), "xen/event-send", uint64(p))
+	}
 	rd.ports[ch.remotePort].pending = true
 	rd.Stats.EventsIn.Add(1)
 	v.maybeDeliverUpcall(c, rd)

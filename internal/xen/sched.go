@@ -81,10 +81,15 @@ func (v *VMM) scheduleSlices(c *hw.CPU, tickPeriod hw.Cycles) {
 	if len(others) == 0 || total == 0 {
 		return
 	}
+	h := v.tel()
 	for _, ct := range others {
 		budget := hw.Cycles(uint64(tickPeriod) * uint64(ct.w) / total)
 		if budget == 0 {
 			continue
+		}
+		if h != nil {
+			h.schedSlices.Inc()
+			h.schedBudget.Observe(budget)
 		}
 		d := ct.d
 		v.runInDomain(c, d, func() {

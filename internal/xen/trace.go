@@ -99,6 +99,11 @@ func (t *TraceBuffer) Emit(c *hw.CPU, kind TraceKind, dom DomID, arg uint64) {
 	}
 	ev := TraceEvent{TSC: c.Now(), CPU: c.ID, Kind: kind, Dom: dom, Arg: arg}
 	t.mu.Lock()
+	if t.wrapped {
+		// The slot being written still holds a record no Snapshot has
+		// returned: overwriting it loses history.
+		t.dropped++
+	}
 	t.buf[t.next] = ev
 	t.next++
 	if t.next == len(t.buf) {
@@ -109,8 +114,17 @@ func (t *TraceBuffer) Emit(c *hw.CPU, kind TraceKind, dom DomID, arg uint64) {
 }
 
 // Snapshot returns the recorded events in emission order and clears the
-// ring.
+// ring. The dropped total is cumulative across snapshots; read it with
+// Dropped.
 func (t *TraceBuffer) Snapshot() []TraceEvent {
+	evs, _ := t.SnapshotWithDropped()
+	return evs
+}
+
+// SnapshotWithDropped returns the recorded events in emission order
+// plus the cumulative count of records lost to ring wrap, and clears
+// the ring.
+func (t *TraceBuffer) SnapshotWithDropped() ([]TraceEvent, uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var out []TraceEvent
@@ -120,7 +134,15 @@ func (t *TraceBuffer) Snapshot() []TraceEvent {
 	out = append(out, t.buf[:t.next]...)
 	t.next = 0
 	t.wrapped = false
-	return out
+	return out, t.dropped
+}
+
+// Dropped returns how many records were overwritten by ring wrap
+// before any Snapshot could return them.
+func (t *TraceBuffer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // traceEmit is the VMM-side helper (nil-safe).

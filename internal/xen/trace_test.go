@@ -2,6 +2,7 @@ package xen
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/hw"
@@ -68,5 +69,85 @@ func TestTraceRingWraps(t *testing.T) {
 	// Snapshot cleared the ring.
 	if len(tb.Snapshot()) != 0 {
 		t.Fatal("snapshot did not clear")
+	}
+}
+
+func TestTraceDroppedCountExact(t *testing.T) {
+	tb := NewTraceBuffer(4)
+	tb.Enable()
+	m := hw.NewMachine(hw.Config{MemBytes: 4 << 20, NumCPUs: 1})
+	c := m.BootCPU()
+	for i := 0; i < 7; i++ {
+		c.Charge(10)
+		tb.Emit(c, TrcEventSend, 1, uint64(i))
+	}
+	// Seven emits into a four-slot ring: records 0..2 were overwritten
+	// before any snapshot could return them.
+	evs, dropped := tb.SnapshotWithDropped()
+	if len(evs) != 4 || dropped != 3 {
+		t.Fatalf("kept %d dropped %d, want 4/3", len(evs), dropped)
+	}
+	for i, e := range evs {
+		if e.Arg != uint64(i+3) {
+			t.Fatalf("event %d has arg %d", i, e.Arg)
+		}
+	}
+	if tb.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d", tb.Dropped())
+	}
+	// The count is cumulative across snapshots: filling the ring again
+	// without wrapping adds nothing, wrapping once more adds one.
+	for i := 0; i < 4; i++ {
+		c.Charge(10)
+		tb.Emit(c, TrcEventSend, 1, uint64(i))
+	}
+	if _, dropped := tb.SnapshotWithDropped(); dropped != 3 {
+		t.Fatalf("non-wrapping refill changed dropped to %d", dropped)
+	}
+	for i := 0; i < 5; i++ {
+		c.Charge(10)
+		tb.Emit(c, TrcEventSend, 1, uint64(i))
+	}
+	if _, dropped := tb.SnapshotWithDropped(); dropped != 4 {
+		t.Fatalf("cumulative dropped = %d, want 4", dropped)
+	}
+}
+
+func TestTraceParallelEmit(t *testing.T) {
+	// Concurrent emitters from distinct CPUs must neither race (run
+	// with -race) nor lose records while the ring has room.
+	const perCPU = 200
+	ncpu := 4
+	tb := NewTraceBuffer(ncpu * perCPU)
+	tb.Enable()
+	m := hw.NewMachine(hw.Config{MemBytes: 16 << 20, NumCPUs: ncpu})
+	var wg sync.WaitGroup
+	for id := 0; id < ncpu; id++ {
+		wg.Add(1)
+		go func(c *hw.CPU) {
+			defer wg.Done()
+			for i := 0; i < perCPU; i++ {
+				c.Charge(1)
+				tb.Emit(c, TrcEventSend, DomID(c.ID), uint64(i))
+			}
+		}(m.CPUs[id])
+	}
+	wg.Wait()
+	evs, dropped := tb.SnapshotWithDropped()
+	if len(evs) != ncpu*perCPU || dropped != 0 {
+		t.Fatalf("kept %d dropped %d, want %d/0", len(evs), dropped, ncpu*perCPU)
+	}
+	// Per-CPU order is preserved even under interleaving.
+	lastArg := make(map[int]uint64)
+	for _, e := range evs {
+		if prev, ok := lastArg[e.CPU]; ok && e.Arg != prev+1 {
+			t.Fatalf("cpu%d emitted %d after %d", e.CPU, e.Arg, prev)
+		}
+		lastArg[e.CPU] = e.Arg
+	}
+	for id := 0; id < ncpu; id++ {
+		if lastArg[id] != perCPU-1 {
+			t.Fatalf("cpu%d last arg %d", id, lastArg[id])
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // VMM is the hypervisor. In the always-on configurations (X-0, X-U) it
@@ -64,6 +65,57 @@ type VMM struct {
 	consoleLog []string
 
 	Stats VMMStats
+
+	// obsCache holds pre-resolved registry handles for the installed
+	// collector so the hypercall hot path skips map lookups.
+	obsCache atomic.Pointer[vmmObs]
+}
+
+// vmmObs caches the VMM's telemetry handles for one collector.
+type vmmObs struct {
+	col            *obs.Collector
+	hypercalls     *obs.Counter
+	hypercallCyc   *obs.Histogram
+	domSwitches    *obs.Counter
+	faultBounces   *obs.Counter
+	faultBounceCyc *obs.Histogram
+	eventsSent     *obs.Counter
+	schedSlices    *obs.Counter
+	schedBudget    *obs.Histogram
+	blkEvents      *obs.Counter
+	blkRequests    *obs.Counter
+	netTxPackets   *obs.Counter
+	netRxPackets   *obs.Counter
+}
+
+// tel returns the cached telemetry handles, or nil when no collector
+// is installed. The disabled path is a single atomic load.
+func (v *VMM) tel() *vmmObs {
+	col := v.M.Telemetry()
+	if col == nil {
+		return nil
+	}
+	h := v.obsCache.Load()
+	if h == nil || h.col != col {
+		r := col.Registry
+		h = &vmmObs{
+			col:            col,
+			hypercalls:     r.Counter("xen", "hypercalls_total"),
+			hypercallCyc:   r.Histogram("xen", "hypercall_cycles"),
+			domSwitches:    r.Counter("xen", "dom_switches_total"),
+			faultBounces:   r.Counter("xen", "fault_bounces_total"),
+			faultBounceCyc: r.Histogram("xen", "fault_bounce_cycles"),
+			eventsSent:     r.Counter("xen", "events_sent_total"),
+			schedSlices:    r.Counter("xen", "sched_slices_total"),
+			schedBudget:    r.Histogram("xen", "sched_slice_budget_cycles"),
+			blkEvents:      r.Counter("xen", "backend_events_total", obs.L("dev", "blk")),
+			blkRequests:    r.Counter("xen", "backend_requests_total", obs.L("dev", "blk")),
+			netTxPackets:   r.Counter("xen", "backend_packets_total", obs.L("dev", "net"), obs.L("dir", "tx")),
+			netRxPackets:   r.Counter("xen", "backend_packets_total", obs.L("dev", "net"), obs.L("dir", "rx")),
+		}
+		v.obsCache.Store(h)
+	}
+	return h
 }
 
 // VMMStats counts hypervisor-level events. Atomic: hypercalls arrive
@@ -307,6 +359,11 @@ func (v *VMM) RunInDomain(c *hw.CPU, d *Domain, fn func()) {
 // runInDomain executes fn with d current on c, charging a domain switch
 // in and out — the uniprocessor Xen pattern for backend processing.
 func (v *VMM) runInDomain(c *hw.CPU, d *Domain, fn func()) {
+	var sp obs.SpanRef
+	if h := v.tel(); h != nil {
+		h.domSwitches.Add(2)
+		sp = obs.Begin(h.col, c.ID, c.Now(), "xen/run-in-domain")
+	}
 	// The target domain is not running: besides the context switch, the
 	// initiator eats the VMM scheduler's dispatch latency.
 	c.Charge(v.M.Costs.DomSchedLatency)
@@ -318,6 +375,7 @@ func (v *VMM) runInDomain(c *hw.CPU, d *Domain, fn func()) {
 	v.cur[c.ID] = v.cur[c.ID][:len(v.cur[c.ID])-1]
 	c.Charge(v.M.Costs.DomSwitch)
 	v.Stats.DomSwitches.Add(1)
+	sp.EndArg(c.Now(), uint64(d.ID))
 }
 
 // lockMMU serializes page-table validation across CPUs. The wait keeps
@@ -335,7 +393,17 @@ func (v *VMM) unlockMMU() { v.mmuMu.Unlock() }
 
 // enter is the hypercall prologue: a world switch into the VMM at PL0.
 // The returned closure is the epilogue. Usage: defer v.enter(c, d)().
+//
+// With a collector installed the epilogue also records the hypercall's
+// full latency (prologue charge through body) into the cycle histogram
+// and attributes a "xen/hypercall" span to whatever span is open on
+// this CPU — a mode-switch phase, a backend event, a benchmark loop.
 func (v *VMM) enter(c *hw.CPU, d *Domain) func() {
+	h := v.tel()
+	var start hw.Cycles
+	if h != nil {
+		start = c.Now()
+	}
 	c.Charge(v.M.Costs.WorldSwitch + v.M.Costs.HypercallBase)
 	v.Stats.Hypercalls.Add(1)
 	v.traceEmit(c, TrcHypercall, d, 0)
@@ -343,5 +411,18 @@ func (v *VMM) enter(c *hw.CPU, d *Domain) func() {
 		d.Stats.Hypercalls.Add(1)
 	}
 	prev := c.SetMode(hw.PL0)
-	return func() { c.SetMode(prev) }
+	if h == nil {
+		return func() { c.SetMode(prev) }
+	}
+	id := uint64(0xFFFE)
+	if d != nil {
+		id = uint64(d.ID)
+	}
+	return func() {
+		c.SetMode(prev)
+		end := c.Now()
+		h.hypercalls.Inc()
+		h.hypercallCyc.Observe(end - start)
+		h.col.Tracer.Complete(c.ID, start, end, "xen/hypercall", id)
+	}
 }
