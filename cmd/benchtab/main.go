@@ -27,8 +27,10 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: table1, table2, fig3, fig4, switch, ablation, paging, batching, emulation, addrspace, all")
+		"experiment to run: table1, table2, fig3, fig4, switch, ablation, paging, batching, emulation, addrspace, chaos, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
+	seed := flag.Int64("seed", 42, "chaos campaign seed")
+	episodes := flag.Int("episodes", 16, "chaos campaign episodes")
 	format := flag.String("format", "text", "output format for tables/figures: text or csv")
 	metrics := flag.Bool("metrics", false,
 		"collect telemetry and write per-configuration metric dumps (JSON)")
@@ -193,6 +195,33 @@ func main() {
 			log.Fatal(err)
 		}
 		bench.WriteAddrSpaceAblation(os.Stdout, r)
+		fmt.Println()
+	}
+	if run("chaos") {
+		any = true
+		opt := bench.Options{}
+		var col *obs.Collector
+		if *metrics {
+			col = obs.New(1)
+			opt.Collector = col
+		}
+		r, err := bench.ChaosCampaign(*seed, *episodes, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteChaos(os.Stdout, r)
+		if col != nil {
+			path := filepath.Join(*metricsDir, "metrics-chaos.json")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := col.Registry.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
 		fmt.Println()
 	}
 	if !any {

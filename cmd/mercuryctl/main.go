@@ -11,6 +11,8 @@
 //	                             # registry (Prometheus text format)
 //	mercuryctl trace -o t.json   # record spans + the xentrace ring,
 //	                             # export Chrome trace_event JSON
+//	mercuryctl chaos -seed 42    # seeded fault-injection campaign:
+//	                             # episode table + dependability report
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/guest"
 	"repro/internal/hw"
@@ -36,6 +39,8 @@ func main() {
 	sub := flag.Arg(0)
 	subFlags := flag.NewFlagSet(sub, flag.ExitOnError)
 	out := subFlags.String("o", "trace.json", "output file for the trace subcommand")
+	seed := subFlags.Int64("seed", 42, "chaos campaign seed")
+	episodes := subFlags.Int("episodes", 16, "chaos campaign episodes")
 	if sub != "" {
 		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
@@ -45,6 +50,13 @@ func main() {
 	pol := core.TrackRecompute
 	if *policy == "active" {
 		pol = core.TrackActive
+	}
+
+	if sub == "chaos" {
+		// The campaign builds its own system: a small deferral budget
+		// keeps starved-switch episodes to a few simulated ticks.
+		chaosCmd(pol, *ncpu, *seed, *episodes)
+		return
 	}
 	var col *obs.Collector
 	if sub != "" {
@@ -70,7 +82,7 @@ func main() {
 		case "trace":
 			traceCmd(mc, col, *out)
 		default:
-			log.Fatalf("unknown subcommand %q (want stats or trace)", sub)
+			log.Fatalf("unknown subcommand %q (want stats, trace or chaos)", sub)
 		}
 		return
 	}
@@ -127,6 +139,32 @@ func traceCmd(mc *core.Mercury, col *obs.Collector, out string) {
 	must(obs.WriteChromeTrace(f, mc.M.Hz, spans, ext))
 	fmt.Printf("wrote %s: %d spans, %d xentrace events (%d dropped by ring wrap, %d spans over budget)\n",
 		out, len(spans), len(evs), dropped, col.Tracer.Dropped())
+}
+
+// chaosCmd runs the seeded fault-injection campaign and prints the
+// episode table plus the dependability summary. Same seed, same
+// machine: same episodes.
+func chaosCmd(pol core.TrackingPolicy, ncpu int, seed int64, episodes int) {
+	col := obs.New(ncpu)
+	cfg := hw.DefaultConfig()
+	cfg.NumCPUs = ncpu
+	machine := hw.NewMachine(cfg)
+	machine.SetTelemetry(col)
+	mc, err := core.New(core.Config{Machine: machine, Policy: pol, MaxDeferrals: 8})
+	must(err)
+
+	ccfg := chaos.DefaultConfig(seed)
+	if episodes > 0 {
+		ccfg.Episodes = episodes
+	}
+	rep, err := chaos.Run(mc, ccfg)
+	must(err)
+	fmt.Print(chaos.FormatEpisodes(rep))
+	fmt.Println(rep.Summary())
+	fmt.Printf("%d fault classes; switch stats: attaches=%d detaches=%d deferred=%d starved=%d failed=%d\n",
+		rep.FaultClasses(), mc.Stats.Attaches.Load(), mc.Stats.Detaches.Load(),
+		mc.Stats.Deferred.Load(), mc.Stats.StarvedSwitches.Load(),
+		mc.Stats.FailedSwitches.Load())
 }
 
 // runMixedWorkload exercises file I/O, memory mapping, a mode-switch

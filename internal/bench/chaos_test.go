@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestChaosCampaignExperiment: the benchtab chaos experiment runs on
+// both processor counts with no detector gaps and lands its counters in
+// the collector.
+func TestChaosCampaignExperiment(t *testing.T) {
+	col := obs.New(1)
+	r, err := ChaosCampaign(9, 6, Options{Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 2 || r.Runs[0].NCPU != 1 || r.Runs[1].NCPU != 2 {
+		t.Fatalf("runs: %+v", r.Runs)
+	}
+	for _, run := range r.Runs {
+		if run.Report.Injected != 6 || run.Report.Missed != 0 {
+			t.Fatalf("%d cpus: %s", run.NCPU, run.Report.Summary())
+		}
+	}
+	if got := col.Registry.Counter("chaos", "faults_detected_total").Load(); got != 6 {
+		t.Fatalf("detected counter = %d (uniprocessor run only)", got)
+	}
+
+	var b strings.Builder
+	WriteChaos(&b, r)
+	if !strings.Contains(b.String(), "mttr(us)") {
+		t.Fatalf("table:\n%s", b.String())
+	}
+}

@@ -1,0 +1,434 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/obs"
+	"repro/internal/xen"
+)
+
+// Standby is the escalation target for sensor-detected faults: when a
+// repair fails, the campaign evacuates to this node (§6.5) instead of
+// giving up.
+type Standby struct {
+	V      *xen.VMM
+	Caller *xen.Domain
+	Cfg    migrate.LiveConfig
+}
+
+// Config parameterizes one campaign.
+type Config struct {
+	Seed     int64
+	Episodes int // default 16
+	// Workload interleaves forked processes touching memory between
+	// episodes; SwitchCycles interleaves clean attach/detach cycles.
+	Workload     bool
+	SwitchCycles bool
+	// Faults overrides the injected classes (default Catalog(mc)).
+	Faults []*Fault
+	// Standby, when set, routes failed repairs into evacuation.
+	Standby *Standby
+}
+
+// DefaultConfig returns a fully interleaved campaign for the seed.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Episodes: 16, Workload: true, SwitchCycles: true}
+}
+
+// Episode records one fault's full lifecycle.
+type Episode struct {
+	Index      int
+	Fault      string
+	Layer      Layer
+	Detector   Detector
+	Workload   bool // a forked workload ran before the fault
+	PreSwitch  bool // a clean attach/detach cycle ran before the fault
+	Injected   bool
+	Detected   bool
+	Healed     bool // the system verified clean after repair/undo
+	RolledBack bool // a switch attempt was rolled back by validation
+	Starved    bool // a switch attempt was abandoned by the deferral budget
+	Escalated  bool // healing failed and the node evacuated
+	Detail     string
+	MTTRCycles uint64 // injection to verified-healthy, cycle-accurate
+}
+
+// Report is a campaign's dependability summary.
+type Report struct {
+	Seed     int64
+	Episodes []Episode
+
+	Injected   int
+	Detected   int
+	Healed     int
+	Missed     int // injected but not detected — a detector gap
+	RolledBack int
+	Starved    int
+	Escalated  int
+
+	MTTRTotalCycles uint64
+	MTTRMeanUS      float64
+}
+
+// Summary renders the report's counts as one line.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"seed %d: %d episodes, %d injected, %d detected, %d healed, %d missed, %d rolled back, %d starved, %d escalated, MTTR %.1f us",
+		r.Seed, len(r.Episodes), r.Injected, r.Detected, r.Healed, r.Missed,
+		r.RolledBack, r.Starved, r.Escalated, r.MTTRMeanUS)
+}
+
+// FaultClasses returns how many distinct fault classes the campaign
+// exercised.
+func (r *Report) FaultClasses() int {
+	seen := map[string]bool{}
+	for _, ep := range r.Episodes {
+		seen[ep.Fault] = true
+	}
+	return len(seen)
+}
+
+// chaosObs caches the campaign's telemetry handles.
+type chaosObs struct {
+	col      *obs.Collector
+	injected map[Layer]*obs.Counter
+	detected *obs.Counter
+	healed   *obs.Counter
+	missed   *obs.Counter
+	rolled   *obs.Counter
+	mttrCyc  *obs.Histogram
+}
+
+func newChaosObs(col *obs.Collector) *chaosObs {
+	if col == nil {
+		return nil
+	}
+	r := col.Registry
+	return &chaosObs{
+		col: col,
+		injected: map[Layer]*obs.Counter{
+			LayerGuest: r.Counter("chaos", "faults_injected_total", obs.L("layer", string(LayerGuest))),
+			LayerVMM:   r.Counter("chaos", "faults_injected_total", obs.L("layer", string(LayerVMM))),
+			LayerHW:    r.Counter("chaos", "faults_injected_total", obs.L("layer", string(LayerHW))),
+		},
+		detected: r.Counter("chaos", "faults_detected_total"),
+		healed:   r.Counter("chaos", "faults_healed_total"),
+		missed:   r.Counter("chaos", "faults_missed_total"),
+		rolled:   r.Counter("chaos", "switch_rollbacks_total"),
+		mttrCyc:  r.Histogram("chaos", "mttr_cycles"),
+	}
+}
+
+// Run executes a campaign against mc, driving the guest scheduler on
+// every CPU (the SMP rendezvous path is exercised whenever the machine
+// has more than one processor). The campaign runs inside a spawned
+// driver process so switches, heals, and evacuations happen in guest
+// execution context, exactly as the production paths do.
+//
+// Reproducibility: with the same mc configuration, seed, and config,
+// two runs produce identical episode sequences; on a uniprocessor the
+// cycle counts (and so MTTR) are identical too.
+func Run(mc *core.Mercury, cfg Config) (*Report, error) {
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 16
+	}
+	faults := cfg.Faults
+	if len(faults) == 0 {
+		faults = Catalog(mc)
+	}
+	rep := &Report{Seed: cfg.Seed}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tel := newChaosObs(mc.M.Telemetry())
+
+	var runErr error
+	k := mc.K
+	boot := mc.M.BootCPU()
+	k.Spawn(boot, "chaos-driver", guest.DefaultImage("chaos-driver"), func(p *guest.Proc) {
+		// Populate some page tables so guest-layer faults have victims.
+		base := p.Mmap(8, guest.ProtRead|guest.ProtWrite, true)
+		p.Touch(base, 8, true)
+		ctx := &Ctx{MC: mc, P: p, Rand: rng}
+		for i := 0; i < cfg.Episodes; i++ {
+			ep, err := runEpisode(ctx, cfg, faults, rep, tel, i)
+			rep.Episodes = append(rep.Episodes, ep)
+			if err != nil {
+				runErr = fmt.Errorf("chaos: episode %d (%s): %w", i, ep.Fault, err)
+				return
+			}
+		}
+	})
+	var aps sync.WaitGroup
+	for _, ap := range mc.M.CPUs[1:] {
+		aps.Add(1)
+		go func(c *hw.CPU) {
+			defer aps.Done()
+			k.Run(c)
+		}(ap)
+	}
+	k.Run(boot)
+	aps.Wait()
+
+	if n := len(rep.Episodes); n > 0 {
+		rep.MTTRMeanUS = float64(rep.MTTRTotalCycles) / float64(n) /
+			float64(mc.M.Hz) * 1e6
+	}
+	return rep, runErr
+}
+
+// runEpisode drives one fault through inject -> detect -> heal ->
+// verify, with optional workload and clean-switch interleaving before
+// the injection.
+func runEpisode(ctx *Ctx, cfg Config, faults []*Fault, rep *Report, tel *chaosObs, i int) (Episode, error) {
+	mc := ctx.MC
+	ctx.C = ctx.P.CPU()
+	ep := Episode{Index: i}
+
+	// Interleave: a forked workload and/or a clean attach/detach cycle,
+	// each verified against the invariant checker.
+	if cfg.Workload && ctx.Rand.Intn(3) == 0 {
+		ep.Workload = true
+		runWorkload(ctx.P)
+		ctx.C = ctx.P.CPU()
+		if err := mc.CheckInvariants(ctx.C); err != nil {
+			return ep, fmt.Errorf("after workload: %w", err)
+		}
+	}
+	if cfg.SwitchCycles && ctx.Rand.Intn(4) == 0 {
+		ep.PreSwitch = true
+		if err := mc.SwitchSync(ctx.C, core.ModePartialVirtual); err != nil {
+			return ep, fmt.Errorf("clean attach: %w", err)
+		}
+		if err := mc.CheckInvariants(ctx.C); err != nil {
+			return ep, fmt.Errorf("attached invariants: %w", err)
+		}
+		if err := mc.SwitchSync(ctx.C, core.ModeNative); err != nil {
+			return ep, fmt.Errorf("clean detach: %w", err)
+		}
+		if err := mc.CheckInvariants(ctx.C); err != nil {
+			return ep, fmt.Errorf("after clean cycle: %w", err)
+		}
+	}
+
+	f := faults[ctx.Rand.Intn(len(faults))]
+	ep.Fault, ep.Layer, ep.Detector = f.Name, f.Layer, f.Detector
+	sp := obs.Begin(telCol(tel), ctx.C.ID, ctx.C.Now(), "chaos/episode")
+	defer func() { sp.EndArg(ctx.C.Now(), uint64(i)) }()
+
+	injectedAt := ctx.C.Now()
+	act, err := f.Inject(ctx)
+	if err != nil {
+		return ep, fmt.Errorf("inject: %w", err)
+	}
+	ep.Injected = true
+	rep.Injected++
+	if tel != nil {
+		tel.injected[f.Layer].Inc()
+	}
+
+	var derr error
+	switch f.Detector {
+	case DetectInvariant:
+		derr = detectInvariant(ctx, &ep, act)
+	case DetectSensor:
+		derr = detectSensor(ctx, cfg, &ep, act)
+	case DetectSwitch:
+		derr = detectSwitch(ctx, &ep, act)
+	default:
+		derr = fmt.Errorf("unknown detector %q", f.Detector)
+	}
+	if derr != nil {
+		return ep, derr
+	}
+
+	// The episode's verdict: the whole system must verify clean.
+	if err := mc.CheckInvariants(ctx.C); err != nil {
+		return ep, fmt.Errorf("post-episode invariants: %w", err)
+	}
+	ep.MTTRCycles = ctx.C.Now() - injectedAt
+
+	rep.MTTRTotalCycles += ep.MTTRCycles
+	if ep.Detected {
+		rep.Detected++
+	} else {
+		rep.Missed++
+	}
+	if ep.Healed {
+		rep.Healed++
+	}
+	if ep.RolledBack {
+		rep.RolledBack++
+	}
+	if ep.Starved {
+		rep.Starved++
+	}
+	if ep.Escalated {
+		rep.Escalated++
+	}
+	if tel != nil {
+		if ep.Detected {
+			tel.detected.Inc()
+		} else {
+			tel.missed.Inc()
+		}
+		if ep.Healed {
+			tel.healed.Inc()
+		}
+		if ep.RolledBack {
+			tel.rolled.Inc()
+		}
+		tel.mttrCyc.Observe(ep.MTTRCycles)
+	}
+	return ep, nil
+}
+
+func telCol(tel *chaosObs) *obs.Collector {
+	if tel == nil {
+		return nil
+	}
+	return tel.col
+}
+
+// detectInvariant expects the system-wide checker to report the fault,
+// and a clean check once the fault is removed.
+func detectInvariant(ctx *Ctx, ep *Episode, act *Active) error {
+	verr := ctx.MC.CheckInvariants(ctx.C)
+	if verr != nil {
+		ep.Detected = true
+		ep.Detail = verr.Error()
+	}
+	act.Undo()
+	if err := ctx.MC.CheckInvariants(ctx.C); err != nil {
+		return fmt.Errorf("undo left system dirty: %w", err)
+	}
+	ep.Healed = true
+	return nil
+}
+
+// detectSensor expects a healing sensor to trip; the self-healing path
+// (escalating to evacuation when a Standby is configured) repairs it.
+func detectSensor(ctx *Ctx, cfg Config, ep *Episode, act *Active) error {
+	mc := ctx.MC
+	if act.Sensor == nil {
+		return fmt.Errorf("sensor-detected fault provided no sensor")
+	}
+	sensors := []core.Sensor{*act.Sensor}
+	if cfg.Standby != nil {
+		er, err := mc.HealOrEvacuate(ctx.C, sensors, act.Repair,
+			cfg.Standby.V, cfg.Standby.Caller, cfg.Standby.Cfg)
+		if er != nil {
+			ep.Detected = true
+			ep.Escalated = er.Escalated
+			if er.Heal != nil {
+				ep.Healed = er.Heal.Healed
+				ep.Detail = er.Heal.Anomaly
+			}
+			if er.Escalated && er.Evacuation != nil && er.Evacuation.NodeReleased {
+				// The node healed itself out of existence: the fault is
+				// contained even though the repair failed.
+				ep.Healed = true
+				ep.Detail += "; evacuated"
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("heal-or-evacuate: %w", err)
+		}
+	} else {
+		hr, err := mc.SelfHeal(ctx.C, sensors, act.Repair)
+		if hr != nil {
+			ep.Detected = true
+			ep.Healed = hr.Healed
+			ep.Detail = hr.Anomaly
+		}
+		if err != nil {
+			return fmt.Errorf("self-heal: %w", err)
+		}
+	}
+	act.Undo() // idempotent cleanup for whatever the repair left behind
+	return nil
+}
+
+// detectSwitch expects the mode switch itself to reject the fault —
+// validation rolls back, or the deferral budget reports starvation —
+// and a retry to succeed once the fault is removed.
+func detectSwitch(ctx *Ctx, ep *Episode, act *Active) error {
+	mc := ctx.MC
+	failedBefore := mc.Stats.FailedSwitches.Load()
+	starvedBefore := mc.Stats.StarvedSwitches.Load()
+
+	serr := mc.SwitchSync(ctx.C, core.ModePartialVirtual)
+	if serr == nil {
+		// The switch committed despite the fault: a detector gap.
+		act.Undo()
+		if err := mc.SwitchSync(ctx.C, core.ModeNative); err != nil {
+			return fmt.Errorf("detaching after undetected fault: %w", err)
+		}
+		return nil
+	}
+	if mc.Mode() != core.ModeNative {
+		return fmt.Errorf("failed switch left mode %v", mc.Mode())
+	}
+	ep.Detected = true
+	ep.Detail = serr.Error()
+	ep.RolledBack = mc.Stats.FailedSwitches.Load() > failedBefore
+	ep.Starved = mc.Stats.StarvedSwitches.Load() > starvedBefore
+
+	act.Undo()
+	// With the fault removed the switch must commit — the §8 promise
+	// that a failed switch is not fatal.
+	if err := mc.SwitchSync(ctx.C, core.ModePartialVirtual); err != nil {
+		return fmt.Errorf("retry after undo: %w", err)
+	}
+	if err := mc.SwitchSync(ctx.C, core.ModeNative); err != nil {
+		return fmt.Errorf("detach after retry: %w", err)
+	}
+	ep.Healed = true
+	return nil
+}
+
+// runWorkload forks a child that touches fresh memory, then reaps it —
+// enough to churn address spaces, page refcounts, and the scheduler
+// between faults.
+func runWorkload(p *guest.Proc) {
+	p.Fork("chaos-work", func(cp *guest.Proc) {
+		base := cp.Mmap(4, guest.ProtRead|guest.ProtWrite, true)
+		cp.Touch(base, 4, true)
+	})
+	p.Wait()
+}
+
+// FormatEpisodes renders the episode table for the CLI.
+func FormatEpisodes(r *Report) string {
+	var b strings.Builder
+	for _, ep := range r.Episodes {
+		flags := ""
+		if ep.Workload {
+			flags += "w"
+		}
+		if ep.PreSwitch {
+			flags += "s"
+		}
+		verdict := "MISSED"
+		switch {
+		case ep.Starved:
+			verdict = "starved"
+		case ep.RolledBack:
+			verdict = "rolled-back"
+		case ep.Escalated:
+			verdict = "escalated"
+		case ep.Healed:
+			verdict = "healed"
+		case ep.Detected:
+			verdict = "detected"
+		}
+		fmt.Fprintf(&b, "%3d  %-22s %-6s %-18s %-12s mttr=%dcyc %s\n",
+			ep.Index, ep.Fault, ep.Layer, ep.Detector, verdict, ep.MTTRCycles, flags)
+	}
+	return b.String()
+}

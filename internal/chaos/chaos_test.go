@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/obs"
+	"repro/internal/xen"
+)
+
+// newCollector installs a telemetry collector on mc's machine.
+func newCollector(mc *core.Mercury) *obs.Collector {
+	col := obs.New(len(mc.M.CPUs))
+	mc.M.SetTelemetry(col)
+	return col
+}
+
+func layerLabel(l Layer) obs.Label { return obs.L("layer", string(l)) }
+
+// newSystem builds a Mercury system with a small deferral budget (so
+// starvation faults resolve in a handful of simulated ticks).
+func newSystem(t *testing.T, ncpu int, policy core.TrackingPolicy) *core.Mercury {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 64 << 20, NumCPUs: ncpu})
+	mc, err := core.New(core.Config{Machine: m, Policy: policy, MaxDeferrals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+// standbyNode builds a healthy evacuation target.
+func standbyNode(t *testing.T, src *hw.Machine) *Standby {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 128 << 20, NumCPUs: 1})
+	v, err := xen.Boot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.BootCPU()
+	v.Activate(c)
+	dom0, err := v.CreateDomain("dom0", 2048, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetCurrent(c, dom0)
+	hw.Wire(src.NIC, m.NIC, hw.Gigabit())
+	return &Standby{V: v, Caller: dom0, Cfg: migrate.DefaultLiveConfig()}
+}
+
+// TestChaosCatalogStructure: the registry spans all three layers with
+// at least eight distinct classes, and the attach-validation faults are
+// gated on the recompute policy.
+func TestChaosCatalogStructure(t *testing.T) {
+	mc := newSystem(t, 1, core.TrackRecompute)
+	faults := Catalog(mc)
+	if len(faults) < 8 {
+		t.Fatalf("catalog has %d fault classes, want >= 8", len(faults))
+	}
+	layers := map[Layer]int{}
+	names := map[string]bool{}
+	for _, f := range faults {
+		layers[f.Layer]++
+		if names[f.Name] {
+			t.Fatalf("duplicate fault %q", f.Name)
+		}
+		names[f.Name] = true
+		if f.Detector != DetectInvariant && f.Detector != DetectSensor && f.Detector != DetectSwitch {
+			t.Fatalf("fault %q has unknown detector %q", f.Name, f.Detector)
+		}
+	}
+	for _, l := range []Layer{LayerGuest, LayerVMM, LayerHW} {
+		if layers[l] == 0 {
+			t.Fatalf("no faults in layer %q", l)
+		}
+	}
+
+	active := newSystem(t, 1, core.TrackActive)
+	for _, f := range Catalog(active) {
+		if f.Name == "pagetable-corruption" || f.Name == "hypercall-transient" {
+			t.Fatalf("attach-validation fault %q present under active tracking", f.Name)
+		}
+	}
+}
+
+// TestChaosEveryFaultDetectedAndHealed: each fault class, injected
+// alone, is caught by its declared detector and the system verifies
+// clean afterwards.
+func TestChaosEveryFaultDetectedAndHealed(t *testing.T) {
+	proto := newSystem(t, 1, core.TrackRecompute)
+	for _, f := range Catalog(proto) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			mc := newSystem(t, 1, core.TrackRecompute)
+			rep, err := Run(mc, Config{Seed: 7, Episodes: 1, Faults: []*Fault{f}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Episodes) != 1 {
+				t.Fatalf("episodes: %+v", rep.Episodes)
+			}
+			ep := rep.Episodes[0]
+			if !ep.Injected || !ep.Detected || !ep.Healed {
+				t.Fatalf("episode: %+v", ep)
+			}
+			if f.Detector == DetectSwitch && !ep.RolledBack && !ep.Starved {
+				t.Fatalf("switch fault neither rolled back nor starved: %+v", ep)
+			}
+			if rep.Missed != 0 {
+				t.Fatalf("missed: %+v", rep)
+			}
+			if mc.Mode() != core.ModeNative {
+				t.Fatalf("mode = %v after campaign", mc.Mode())
+			}
+		})
+	}
+}
+
+// TestChaosCampaignReproducible: the acceptance property — two runs
+// with the same seed produce identical episode sequences and reports,
+// while covering at least eight distinct fault classes across the
+// guest/VMM/hardware layers with invariants holding after every
+// episode (Run fails otherwise).
+func TestChaosCampaignReproducible(t *testing.T) {
+	cfg := DefaultConfig(42)
+	cfg.Episodes = 40
+
+	run := func() *Report {
+		mc := newSystem(t, 1, core.TrackRecompute)
+		rep, err := Run(mc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1 := run()
+	r2 := run()
+
+	if !reflect.DeepEqual(r1.Episodes, r2.Episodes) {
+		for i := range r1.Episodes {
+			if !reflect.DeepEqual(r1.Episodes[i], r2.Episodes[i]) {
+				t.Fatalf("episode %d diverged:\n  %+v\n  %+v", i, r1.Episodes[i], r2.Episodes[i])
+			}
+		}
+		t.Fatalf("episode sequences diverged")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("reports diverged:\n  %+v\n  %+v", r1, r2)
+	}
+
+	if r1.Injected != cfg.Episodes || r1.Missed != 0 {
+		t.Fatalf("report: %s", r1.Summary())
+	}
+	if r1.Detected != r1.Injected {
+		t.Fatalf("detector gap: %s", r1.Summary())
+	}
+	if got := r1.FaultClasses(); got < 8 {
+		t.Fatalf("campaign exercised %d fault classes, want >= 8", got)
+	}
+	layers := map[Layer]bool{}
+	for _, ep := range r1.Episodes {
+		layers[ep.Layer] = true
+	}
+	if len(layers) != 3 {
+		t.Fatalf("campaign covered layers %v", layers)
+	}
+}
+
+// TestChaosCampaignSMPRendezvous: a campaign on a 2-CPU machine drives
+// every switch through the §5.4 rendezvous path.
+func TestChaosCampaignSMPRendezvous(t *testing.T) {
+	mc := newSystem(t, 2, core.TrackRecompute)
+	cfg := DefaultConfig(5)
+	cfg.Episodes = 10
+	rep, err := Run(mc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != cfg.Episodes || rep.Missed != 0 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	if mc.Stats.Attaches.Load() == 0 {
+		t.Fatal("campaign never attached — rendezvous path unexercised")
+	}
+	c := mc.M.BootCPU()
+	if err := mc.CheckInvariants(c); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+}
+
+// TestChaosCampaignEscalatesMidCampaign: a fault whose repair fails
+// escalates into evacuation to the standby node, and the campaign
+// continues clean.
+func TestChaosCampaignEscalatesMidCampaign(t *testing.T) {
+	mc := newSystem(t, 1, core.TrackRecompute)
+	unrepairable := &Fault{
+		Name: "runqueue-unrepairable", Layer: LayerGuest, Detector: DetectSensor,
+		Inject: func(ctx *Ctx) (*Active, error) {
+			ctx.MC.K.InjectRunqueueCorruption()
+			s := core.RunqueueSensor()
+			return &Active{
+				Undo:   func() { ctx.MC.K.RepairRunqueue(ctx.C) },
+				Sensor: &s,
+				Repair: func(*hw.CPU, *core.Mercury) error {
+					return fmt.Errorf("repair tool broken")
+				},
+			}, nil
+		},
+	}
+	cfg := Config{Seed: 11, Episodes: 2, Faults: []*Fault{unrepairable},
+		Standby: standbyNode(t, mc.M)}
+	rep, err := Run(mc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Escalated != 2 || rep.Detected != 2 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	for _, ep := range rep.Episodes {
+		if !ep.Escalated || !ep.Detected {
+			t.Fatalf("episode: %+v", ep)
+		}
+	}
+	if mc.Mode() != core.ModeNative {
+		t.Fatalf("mode = %v after evacuations", mc.Mode())
+	}
+}
+
+// TestChaosReportTelemetry: campaign counters and the MTTR histogram
+// land in the obs registry.
+func TestChaosReportTelemetry(t *testing.T) {
+	mc := newSystem(t, 1, core.TrackRecompute)
+	col := newCollector(mc)
+	cfg := DefaultConfig(3)
+	cfg.Episodes = 6
+	rep, err := Run(mc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, l := range []Layer{LayerGuest, LayerVMM, LayerHW} {
+		total += col.Registry.Counter("chaos", "faults_injected_total", layerLabel(l)).Load()
+	}
+	if total != uint64(rep.Injected) {
+		t.Fatalf("injected counter %d, report %d", total, rep.Injected)
+	}
+	if got := col.Registry.Counter("chaos", "faults_detected_total").Load(); got != uint64(rep.Detected) {
+		t.Fatalf("detected counter %d, report %d", got, rep.Detected)
+	}
+	h := col.Registry.Histogram("chaos", "mttr_cycles")
+	if h.Count() != uint64(len(rep.Episodes)) {
+		t.Fatalf("mttr histogram count %d, episodes %d", h.Count(), len(rep.Episodes))
+	}
+}

@@ -80,7 +80,17 @@ func (mc *Mercury) EvacuateOnFailure(c *hw.CPU, fp FailurePredictor,
 	if predicted == nil {
 		return nil, nil
 	}
-	rep := &EvacuationReport{Predicted: predicted.Error()}
+	return mc.Evacuate(c, predicted.Error(), dst, dstCaller, cfg)
+}
+
+// Evacuate unconditionally runs the §6.5 evacuation for the given
+// reason: self-virtualize if needed, live-migrate every hosted domain
+// to dst, detach. It is the terminal step of the healing escalation
+// path (HealOrEvacuate) as well as EvacuateOnFailure's mechanism.
+func (mc *Mercury) Evacuate(c *hw.CPU, reason string,
+	dst *xen.VMM, dstCaller *xen.Domain, cfg migrate.LiveConfig) (*EvacuationReport, error) {
+
+	rep := &EvacuationReport{Predicted: reason}
 	sp := obs.Begin(mc.telCol(), c.ID, c.Now(), "core/evacuate")
 	defer func() { sp.EndArg(c.Now(), uint64(len(rep.Evacuated))) }()
 	if h := mc.tel(); h != nil {
@@ -105,5 +115,37 @@ func (mc *Mercury) EvacuateOnFailure(c *hw.CPU, fp FailurePredictor,
 		return rep, fmt.Errorf("core: detaching after evacuation: %w", err)
 	}
 	rep.NodeReleased = true
+	return rep, nil
+}
+
+// EscalationReport describes one sensor → SelfHeal → EvacuateOnFailure
+// escalation episode.
+type EscalationReport struct {
+	Heal       *HealReport
+	Evacuation *EvacuationReport
+	Escalated  bool // healing failed, evacuation was attempted
+}
+
+// HealOrEvacuate is the healing escalation path: run SelfHeal over the
+// sensors; if an anomaly was detected but could not be repaired, the
+// node is presumed unreliable and evacuates to dst (§6.2 healing backed
+// by §6.5 evacuation). Returns nil, nil when no sensor fired.
+func (mc *Mercury) HealOrEvacuate(c *hw.CPU, sensors []Sensor, fallback Repair,
+	dst *xen.VMM, dstCaller *xen.Domain, cfg migrate.LiveConfig) (*EscalationReport, error) {
+
+	heal, healErr := mc.SelfHeal(c, sensors, fallback)
+	if heal == nil && healErr == nil {
+		return nil, nil
+	}
+	rep := &EscalationReport{Heal: heal}
+	if healErr == nil && heal != nil && heal.Healed {
+		return rep, nil
+	}
+	rep.Escalated = true
+	ev, evErr := mc.Evacuate(c, fmt.Sprintf("healing failed: %v", healErr), dst, dstCaller, cfg)
+	rep.Evacuation = ev
+	if evErr != nil {
+		return rep, fmt.Errorf("core: healing failed (%v); escalation: %w", healErr, evErr)
+	}
 	return rep, nil
 }

@@ -14,41 +14,59 @@ import (
 // and the VMM detaches again — no second machine, no steady-state
 // overhead.
 
-// Sensor inspects the kernel and reports an anomaly, or nil.
+// Sensor inspects the kernel and reports an anomaly, or nil. Repair,
+// when set, is the sensor's own fix; a tripped sensor without one falls
+// back to the repair passed to SelfHeal.
 type Sensor struct {
-	Name  string
-	Check func(k *guest.Kernel) error
+	Name   string
+	Check  func(k *guest.Kernel) error
+	Repair Repair
 }
 
 // Repair fixes the anomaly a sensor reported, running with the VMM
 // attached (full control over the OS).
 type Repair func(c *hw.CPU, mc *Mercury) error
 
-// HealReport describes one healing episode.
+// SensorOutcome is one sensor's result within a healing episode.
+type SensorOutcome struct {
+	Sensor  string
+	Anomaly string
+	Healed  bool
+	Err     string // repair error or persistence message, "" when healed
+}
+
+// HealReport describes one healing episode. Sensor/Anomaly name the
+// first tripped sensor and Healed is the conjunction over all tripped
+// sensors; Outcomes carries the per-sensor detail.
 type HealReport struct {
 	Sensor        string
 	Anomaly       string
 	Healed        bool
 	AttachedForUS float64
+	Outcomes      []SensorOutcome
 }
 
-// SelfHeal runs every sensor; on the first anomaly it attaches the VMM,
-// runs the repair, verifies the sensor is quiet, and detaches. Returns
-// nil, nil when no sensor fired.
-func (mc *Mercury) SelfHeal(c *hw.CPU, sensors []Sensor, repair Repair) (*HealReport, error) {
-	var tripped *Sensor
-	var anomaly error
+// SelfHeal evaluates every sensor; if any report anomalies it attaches
+// the VMM once, repairs each tripped sensor inside that single attach
+// window, verifies each is quiet again, and detaches. Returns nil, nil
+// when no sensor fired, and the first repair failure otherwise.
+func (mc *Mercury) SelfHeal(c *hw.CPU, sensors []Sensor, fallback Repair) (*HealReport, error) {
+	var tripped []int
+	var anomalies []error
 	for i := range sensors {
 		if err := sensors[i].Check(mc.K); err != nil {
-			tripped = &sensors[i]
-			anomaly = err
-			break
+			tripped = append(tripped, i)
+			anomalies = append(anomalies, err)
 		}
 	}
-	if tripped == nil {
+	if len(tripped) == 0 {
 		return nil, nil
 	}
-	rep := &HealReport{Sensor: tripped.Name, Anomaly: anomaly.Error()}
+	rep := &HealReport{
+		Sensor:  sensors[tripped[0]].Name,
+		Anomaly: anomalies[0].Error(),
+		Healed:  true,
+	}
 	sp := obs.Begin(mc.telCol(), c.ID, c.Now(), "core/self-heal")
 	defer func() {
 		healed := uint64(0)
@@ -64,17 +82,35 @@ func (mc *Mercury) SelfHeal(c *hw.CPU, sensors []Sensor, repair Repair) (*HealRe
 	wasNative := mc.Mode() == ModeNative
 	if wasNative {
 		if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+			rep.Healed = false
 			return rep, fmt.Errorf("core: attaching for healing: %w", err)
 		}
 	}
 	attachedAt := c.Now()
-	repairErr := repair(c, mc)
-	if repairErr == nil {
-		if err := tripped.Check(mc.K); err != nil {
-			repairErr = fmt.Errorf("anomaly persists after repair: %w", err)
-		} else {
-			rep.Healed = true
+	var firstErr error
+	for n, i := range tripped {
+		s := &sensors[i]
+		out := SensorOutcome{Sensor: s.Name, Anomaly: anomalies[n].Error()}
+		repair := s.Repair
+		if repair == nil {
+			repair = fallback
 		}
+		err := repair(c, mc)
+		if err == nil {
+			if perr := s.Check(mc.K); perr != nil {
+				err = fmt.Errorf("anomaly persists after repair: %w", perr)
+			}
+		}
+		if err != nil {
+			out.Err = err.Error()
+			rep.Healed = false
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			out.Healed = true
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
 	}
 	rep.AttachedForUS = float64(c.Now()-attachedAt) / float64(mc.M.Hz) * 1e6
 	if wasNative {
@@ -82,7 +118,7 @@ func (mc *Mercury) SelfHeal(c *hw.CPU, sensors []Sensor, repair Repair) (*HealRe
 			return rep, fmt.Errorf("core: detaching after healing: %w", err)
 		}
 	}
-	return rep, repairErr
+	return rep, firstErr
 }
 
 // RunqueueSensor detects corrupted scheduler state (dead processes on

@@ -70,13 +70,14 @@ const (
 
 // Stats records mode-switch behaviour.
 type Stats struct {
-	Attaches       atomic.Uint64
-	Detaches       atomic.Uint64
-	Deferred       atomic.Uint64 // switches postponed by a non-zero refcount
-	FailedSwitches atomic.Uint64 // switches rolled back (failure-resistant path)
-	FixedFrames    atomic.Uint64 // saved frames patched by the selector stub
-	LastAttachCyc  atomic.Uint64
-	LastDetachCyc  atomic.Uint64
+	Attaches        atomic.Uint64
+	Detaches        atomic.Uint64
+	Deferred        atomic.Uint64 // switches postponed by a non-zero refcount
+	FailedSwitches  atomic.Uint64 // switches rolled back (failure-resistant path)
+	StarvedSwitches atomic.Uint64 // switches abandoned after MaxDeferrals retries
+	FixedFrames     atomic.Uint64 // saved frames patched by the selector stub
+	LastAttachCyc   atomic.Uint64
+	LastDetachCyc   atomic.Uint64
 }
 
 // Mercury is one self-virtualizable system: a guest kernel plus its
@@ -102,6 +103,12 @@ type Mercury struct {
 	// (the paper's example uses 10 ms — one 100 Hz tick).
 	retryTicks hw.Cycles
 
+	// maxDeferrals bounds how many times one pending switch may be
+	// deferred by a non-draining refcount before the request is
+	// abandoned; deferrals counts them for the current request.
+	maxDeferrals int32
+	deferrals    atomic.Int32
+
 	smp rendezvousState
 
 	// lastErr records the most recent switch failure (nil after a
@@ -122,6 +129,7 @@ type coreObs struct {
 	detaches  *obs.Counter
 	deferred  *obs.Counter
 	failed    *obs.Counter
+	starved   *obs.Counter
 	healings  *obs.Counter
 	evacs     *obs.Counter
 	attachCyc *obs.Histogram
@@ -144,6 +152,7 @@ func (mc *Mercury) tel() *coreObs {
 			detaches:  r.Counter("core", "detaches_total"),
 			deferred:  r.Counter("core", "switch_deferred_total"),
 			failed:    r.Counter("core", "switch_failed_total"),
+			starved:   r.Counter("core", "switch_starved_total"),
 			healings:  r.Counter("core", "healings_total"),
 			evacs:     r.Counter("core", "evacuations_total"),
 			attachCyc: r.Histogram("core", "attach_cycles"),
@@ -194,7 +203,17 @@ type Config struct {
 	// mode makes every attach pay a full translation of the live page
 	// tables — measured by bench.PagingAblation. Uniprocessor only.
 	ShadowPaging bool
+	// MaxDeferrals bounds how many times one pending mode switch may be
+	// re-armed by the §5.1.1 retry timer before the request is abandoned
+	// and LastSwitchError reports starvation (default DefaultMaxDeferrals;
+	// a non-draining VO refcount would otherwise retry forever).
+	MaxDeferrals int
 }
+
+// DefaultMaxDeferrals is the default retry budget for a deferred switch
+// — 100 retries at the 10 ms interval is a full second of a sensitive
+// section refusing to drain.
+const DefaultMaxDeferrals = 100
 
 // New builds a complete Mercury system on a fresh machine: the VMM is
 // booted (pre-cached) first, then the kernel boots in native mode with
@@ -236,6 +255,10 @@ func New(cfg Config) (*Mercury, error) {
 		v.ShadowMode = true
 	}
 	mc.retryTicks = m.Hz / guest.DefaultHzTicks // 10 ms
+	mc.maxDeferrals = int32(cfg.MaxDeferrals)
+	if mc.maxDeferrals <= 0 {
+		mc.maxDeferrals = DefaultMaxDeferrals
+	}
 	mc.pending.Store(-1)
 	mc.installGates()
 	return mc, nil
@@ -270,6 +293,7 @@ func (mc *Mercury) RequestSwitch(target Mode) error {
 	if !mc.pending.CompareAndSwap(-1, int32(target)) {
 		return fmt.Errorf("core: a mode switch is already pending")
 	}
+	mc.deferrals.Store(0)
 	mc.M.BootCPU().LAPIC.Post(hw.VecModeSwitch)
 	return nil
 }

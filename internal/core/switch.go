@@ -28,12 +28,28 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	}
 
 	// Commit gate: sensitive code must not be in flight (§5.1.1). The
-	// kernel would otherwise be left straddling two modes.
+	// kernel would otherwise be left straddling two modes. The retry
+	// budget bounds a sensitive section that never drains: past
+	// MaxDeferrals the request is abandoned and reported, instead of
+	// re-arming forever while SwitchSync spins unbounded.
 	if mc.K.VO().Refs() != 0 {
 		mc.Stats.Deferred.Add(1)
 		if h != nil {
 			h.deferred.Inc()
 			col.Tracer.Instant(c.ID, c.Now(), "switch/deferred", uint64(target))
+		}
+		if n := mc.deferrals.Add(1); n >= mc.maxDeferrals {
+			mc.Stats.StarvedSwitches.Add(1)
+			if h != nil {
+				h.starved.Inc()
+				col.Tracer.Instant(c.ID, c.Now(), "switch/starved", uint64(target))
+			}
+			mc.setLastError(fmt.Errorf(
+				"core: switch to %v starved by sensitive code (%d deferrals)",
+				target, n))
+			mc.deferrals.Store(0)
+			mc.pending.Store(-1)
+			return
 		}
 		mc.K.AddTimer(c, c.Now()+mc.retryTicks, func(tc *hw.CPU) {
 			tc.LAPIC.Post(hw.VecModeSwitch)

@@ -16,21 +16,31 @@ import (
 // precisely the state the VMM's frame validation must reject, since a
 // writable page-table page would let the (possibly compromised) kernel
 // forge mappings. Returns an undo function that removes the corruption.
+// The first present page directory entry is the victim; seeded campaigns
+// use CorruptPageTableMappingPick instead.
 func (as *AddrSpace) CorruptPageTableMapping() (undo func(), err error) {
+	return as.CorruptPageTableMappingPick(func(int) int { return 0 })
+}
+
+// CorruptPageTableMappingPick is CorruptPageTableMapping with the victim
+// page table chosen by pick(n) over the n present page-directory entries
+// — the hook a seeded chaos campaign uses so the corruption site varies
+// deterministically with the seed.
+func (as *AddrSpace) CorruptPageTableMappingPick(pick func(n int) int) (undo func(), err error) {
 	mem := as.K.M.Mem
-	// Find a present page directory entry: its L1 frame is the victim.
-	var pt hw.PFN
-	found := false
-	for pdi := 0; pdi < hw.PTEntries && !found; pdi++ {
+	// Collect the present page directory entries: their L1 frames are
+	// the candidate victims.
+	var tables []hw.PFN
+	for pdi := 0; pdi < hw.PTEntries; pdi++ {
 		pde := hw.ReadPTE(mem, as.PT.Root, pdi)
 		if pde.Present() {
-			pt = pde.Frame()
-			found = true
+			tables = append(tables, pde.Frame())
 		}
 	}
-	if !found {
+	if len(tables) == 0 {
 		return nil, fmt.Errorf("guest: address space has no page tables to corrupt")
 	}
+	pt := tables[pick(len(tables))%len(tables)]
 	// Find a free slot in that same table and map the table itself,
 	// writable.
 	for idx := hw.PTEntries - 1; idx >= 0; idx-- {
@@ -43,4 +53,39 @@ func (as *AddrSpace) CorruptPageTableMapping() (undo func(), err error) {
 		return func() { hw.WritePTE(mem, pt, slot, 0) }, nil
 	}
 	return nil, fmt.Errorf("guest: no free slot for corruption")
+}
+
+// ghostPid identifies the fabricated process InjectStaleSelector plants.
+// Negative so it can never collide with a real Pid.
+const ghostPid Pid = -2
+
+// InjectStaleSelector plants a fake descheduled thread whose cached
+// kernel-stack interrupt frame carries segment selectors at a privilege
+// level no mode ever uses (RPL 2) — the stale-selector state §5.1.2's
+// fixup stub exists to prevent, injected directly so the invariant
+// checker can be exercised. The ghost is never runnable and owns no
+// address space; the undo function removes it.
+func (k *Kernel) InjectStaleSelector() (undo func(), err error) {
+	k.acquireRaw()
+	defer k.releaseRaw()
+	if _, ok := k.procs[ghostPid]; ok {
+		return nil, fmt.Errorf("guest: stale-selector ghost already injected")
+	}
+	const staleRPL = 2 // between kernel (0/1) and user (3): wrong in every mode
+	ghost := &Proc{
+		Pid:  ghostPid,
+		Name: "ghost",
+		K:    k,
+		SavedFrames: []*hw.TrapFrame{{
+			CS: hw.MakeSelector(hw.GDTKernelCode, staleRPL),
+			SS: hw.MakeSelector(hw.GDTKernelData, staleRPL),
+		}},
+	}
+	ghost.setState(ProcBlocked)
+	k.procs[ghostPid] = ghost
+	return func() {
+		k.acquireRaw()
+		delete(k.procs, ghostPid)
+		k.releaseRaw()
+	}, nil
 }

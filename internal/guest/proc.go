@@ -168,24 +168,44 @@ func (k *Kernel) enqueue(c *hw.CPU, p *Proc) {
 	k.release(c)
 }
 
-// pickNext pops the next runnable process.
+// dispatchable reports whether a queued entry is safe to context-switch
+// into: a live, runnable member of the process table. Called with the
+// kernel lock held.
+func (k *Kernel) dispatchable(p *Proc) bool {
+	if p == nil || p.State() != ProcRunnable {
+		return false
+	}
+	_, known := k.procs[p.Pid]
+	return known
+}
+
+// pickNext pops the next dispatchable process. Corrupt entries (dead or
+// unknown processes — the §6.2 fault model) are never context-switched
+// into; they stay queued for the runqueue sensor and repair to find.
 func (k *Kernel) pickNext(c *hw.CPU) *Proc {
 	k.acquire(c)
 	defer k.release(c)
-	if len(k.runq) == 0 {
-		return nil
+	for i, p := range k.runq {
+		if !k.dispatchable(p) {
+			continue
+		}
+		k.runq = append(k.runq[:i], k.runq[i+1:]...)
+		return p
 	}
-	p := k.runq[0]
-	k.runq = k.runq[1:]
-	return p
+	return nil
 }
 
-// hasRunnable reports whether the run queue is non-empty (charged
-// spin: idle-loop polling must keep the clock moving).
+// hasRunnable reports whether the run queue holds a dispatchable entry
+// (charged spin: idle-loop polling must keep the clock moving).
 func (k *Kernel) hasRunnable(c *hw.CPU) bool {
 	k.lockCharged(c)
 	defer k.lk.mu.Unlock()
-	return len(k.runq) > 0
+	for _, p := range k.runq {
+		if k.dispatchable(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // Current returns the process running on c, if any.

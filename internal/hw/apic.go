@@ -22,14 +22,38 @@ type LAPIC struct {
 	timerVec      int
 
 	IPIsReceived atomic.Uint64
+
+	// dropNext, when armed, makes the LAPIC silently discard the next
+	// posted vector — the "dropped IPI" hardware fault for dependability
+	// campaigns. Dropped counts every vector lost this way.
+	dropNext atomic.Bool
+	dropped  atomic.Uint64
 }
 
 // Post queues vector for delivery to the owning CPU. Safe to call from
 // any goroutine.
 func (l *LAPIC) Post(vector int) {
+	if l.dropNext.CompareAndSwap(true, false) {
+		l.dropped.Add(1)
+		return
+	}
 	l.mu.Lock()
 	l.pending = append(l.pending, vector)
 	l.mu.Unlock()
+}
+
+// ArmDropNext makes the LAPIC discard the next posted vector (fault
+// injection: a lost IPI).
+func (l *LAPIC) ArmDropNext() { l.dropNext.Store(true) }
+
+// DroppedCount returns how many vectors this LAPIC has discarded.
+func (l *LAPIC) DroppedCount() uint64 { return l.dropped.Load() }
+
+// ClearDropped resets the dropped-vector count (and any still-armed
+// drop), returning the count cleared.
+func (l *LAPIC) ClearDropped() uint64 {
+	l.dropNext.Store(false)
+	return l.dropped.Swap(0)
 }
 
 // take removes and returns the next pending vector.

@@ -106,3 +106,12 @@ func (r *refcount) exit()  { r.n.Add(-1) }
 
 // Refs returns the number of in-flight operations.
 func (r *refcount) Refs() int64 { return r.n.Load() }
+
+// Hold takes a reference from outside any operation, modelling a
+// sensitive section that never drains (a wedged driver, a kernel bug).
+// Fault-injection only: a held object defers every mode switch until
+// Unhold.
+func (r *refcount) Hold() { r.n.Add(1) }
+
+// Unhold releases a Hold reference.
+func (r *refcount) Unhold() { r.n.Add(-1) }

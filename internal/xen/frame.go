@@ -81,6 +81,11 @@ func (ft *FrameTable) Get(pfn hw.PFN) FrameInfo { return ft.info[pfn] }
 // SetOwner assigns a frame to a domain.
 func (ft *FrameTable) SetOwner(pfn hw.PFN, d DomID) { ft.info[pfn].Owner = d }
 
+// Set overwrites a frame's accounting entry wholesale. This deliberately
+// bypasses the type system — it exists for fault injection (bit-flips in
+// the accounting array) and for restoring a saved entry afterwards.
+func (ft *FrameTable) Set(pfn hw.PFN, fi FrameInfo) { ft.info[pfn] = fi }
+
 // Reset clears type/count state for every frame while preserving
 // ownership. A detach (virtual -> native switch) resets the table; the
 // next attach recomputes it.

@@ -176,6 +176,10 @@ func (v *VMM) devalidateL2(c *hw.CPU, root hw.PFN, charge bool) {
 // pinTable validates and pins a page-directory root (internal; shared by
 // the hypercall and the adopt/recompute paths).
 func (v *VMM) pinTable(c *hw.CPU, d *Domain, root hw.PFN, charge bool) error {
+	if v.injectPinFails.Load() > 0 {
+		v.injectPinFails.Add(-1)
+		return fmt.Errorf("xen: injected transient failure pinning root %d", root)
+	}
 	if d.pinnedRoots[root] {
 		return fmt.Errorf("xen: dom%d re-pinning root %d", d.ID, root)
 	}

@@ -61,6 +61,10 @@ type VMM struct {
 	// does. Waiters spin with their clocks advancing (see lockMMU).
 	mmuMu sync.Mutex
 
+	// injectPinFails makes the next N table pins fail with a transient
+	// error (fault injection: a hypercall that fails mid-switch).
+	injectPinFails atomic.Int32
+
 	nextDomID  DomID
 	consoleLog []string
 
@@ -233,6 +237,12 @@ func (v *VMM) SetGate(vector int, g hw.Gate) { v.IDT.Set(vector, g) }
 // tables are loaded and it becomes the most-privileged software. The
 // caller (Mercury's state-reloading function, or the Xen boot path) must
 // already have frame accounting in a valid state.
+// InjectPinFailures makes the next n table pins fail with a transient
+// error; n = 0 clears any outstanding injection. Dependability testing
+// only: this is how campaigns exercise the failure-resistant switch's
+// rollback path without corrupting real state.
+func (v *VMM) InjectPinFailures(n int32) { v.injectPinFails.Store(n) }
+
 func (v *VMM) Activate(c *hw.CPU) {
 	v.Stats.Activations.Add(1)
 	v.Active = true
