@@ -8,7 +8,10 @@
 //
 //	benchtab                 # everything
 //	benchtab -exp table1     # one experiment: table1 table2 fig3 fig4
-//	                         # switch ablation
+//	                         # switch switchscale ablation chaos ...
+//	benchtab -exp switchscale -json -baseline BENCH_baseline.json
+//	                         # regenerate the switch-latency trajectory,
+//	                         # write BENCH_switch.json, diff vs baseline
 package main
 
 import (
@@ -27,7 +30,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: table1, table2, fig3, fig4, switch, ablation, paging, batching, emulation, addrspace, chaos, all")
+		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
 	seed := flag.Int64("seed", 42, "chaos campaign seed")
 	episodes := flag.Int("episodes", 16, "chaos campaign episodes")
@@ -35,8 +38,40 @@ func main() {
 	metrics := flag.Bool("metrics", false,
 		"collect telemetry and write per-configuration metric dumps (JSON)")
 	metricsDir := flag.String("metricsdir", ".", "directory for -metrics dump files")
+	jsonOut := flag.Bool("json", false,
+		"write machine-readable results: BENCH_switch.json (switchscale), BENCH_table1/2.json, BENCH_fig3/4.json")
+	jsonDir := flag.String("jsondir", ".", "directory for -json result files")
+	baseline := flag.String("baseline", "",
+		"committed BENCH_baseline.json to diff the switchscale sweep against (exit 1 on breach)")
+	tolerance := flag.Float64("tolerance", 25,
+		"allowed per-point cycle deviation vs -baseline, percent")
+	policyName := flag.String("policy", "recompute",
+		"tracking policy for switch/chaos experiments: recompute, active, journal")
 	flag.Parse()
 	csv := *format == "csv"
+
+	var policy core.TrackingPolicy
+	switch *policyName {
+	case "recompute":
+		policy = core.TrackRecompute
+	case "active":
+		policy = core.TrackActive
+	case "journal":
+		policy = core.TrackJournal
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+
+	writeJSON := func(name string, v any) {
+		if !*jsonOut {
+			return
+		}
+		path := filepath.Join(*jsonDir, name)
+		if err := bench.WriteJSONFile(path, v); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
 
 	run := func(name string) bool {
 		return *exp == "all" || strings.EqualFold(*exp, name)
@@ -79,6 +114,7 @@ func main() {
 		} else {
 			bench.WriteTable(os.Stdout, t)
 		}
+		writeJSON("BENCH_table1.json", t)
 		dump()
 		fmt.Println()
 	}
@@ -94,6 +130,7 @@ func main() {
 		} else {
 			bench.WriteTable(os.Stdout, t)
 		}
+		writeJSON("BENCH_table2.json", t)
 		dump()
 		fmt.Println()
 	}
@@ -108,6 +145,7 @@ func main() {
 		} else {
 			bench.WriteFigure(os.Stdout, f)
 		}
+		writeJSON("BENCH_fig3.json", f)
 		fmt.Println()
 	}
 	if run("fig4") {
@@ -121,6 +159,7 @@ func main() {
 		} else {
 			bench.WriteFigure(os.Stdout, f)
 		}
+		writeJSON("BENCH_fig4.json", f)
 		fmt.Println()
 	}
 	if run("switch") {
@@ -131,7 +170,7 @@ func main() {
 			col = obs.New(1)
 			opt.Collector = col
 		}
-		r, err := bench.ModeSwitchBenchOpts(*samples, core.TrackRecompute, opt)
+		r, err := bench.ModeSwitchBenchOpts(*samples, policy, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -149,6 +188,37 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+	if run("switchscale") {
+		any = true
+		pts, err := bench.SwitchScale(bench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteSwitchScale(os.Stdout, pts)
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, "BENCH_switch.json")
+			if err := bench.WriteSwitchBaseline(path, pts); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *baseline != "" {
+			base, err := bench.LoadSwitchBaseline(*baseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			violations := bench.CompareSwitchBaseline(base, pts, *tolerance)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "baseline breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s held within %.0f%% on all %d points\n",
+				*baseline, *tolerance, len(pts))
 		}
 		fmt.Println()
 	}
@@ -199,7 +269,7 @@ func main() {
 	}
 	if run("chaos") {
 		any = true
-		opt := bench.Options{}
+		opt := bench.Options{Policy: policy}
 		var col *obs.Collector
 		if *metrics {
 			col = obs.New(1)

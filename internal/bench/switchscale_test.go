@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// findPoint pulls one sweep point by configuration.
+func findPoint(t *testing.T, pts []SwitchScalePoint, policy string, ncpu, pages int) SwitchScalePoint {
+	t.Helper()
+	for _, pt := range pts {
+		if pt.Policy == policy && pt.NCPU == ncpu && pt.Pages == pages {
+			return pt
+		}
+	}
+	t.Fatalf("no sweep point %s/%dcpu/%dpg", policy, ncpu, pages)
+	return SwitchScalePoint{}
+}
+
+// TestSwitchScaleAcceptance runs the full sweep once and asserts the
+// issue's two performance criteria plus determinism of the cycle counts.
+func TestSwitchScaleAcceptance(t *testing.T) {
+	pts, err := SwitchScale(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sub-linear attach in CPU count: with the shards running while the
+	// APs are parked, 4 CPUs must not pay 4x1-CPU cycles — require at
+	// least a 1.5x win at the larger working set.
+	one := findPoint(t, pts, "recompute", 1, 4096)
+	four := findPoint(t, pts, "recompute", 4, 4096)
+	if four.AttachCyc*3 > one.AttachCyc*2 {
+		t.Errorf("attach not sub-linear: 1 cpu %d cyc, 4 cpu %d cyc",
+			one.AttachCyc, four.AttachCyc)
+	}
+
+	// Journal re-attach at ~10%% dirty beats the cold attach by >=5x.
+	for _, pages := range ScalePages {
+		j := findPoint(t, pts, "journal", 1, pages)
+		if j.Replays == 0 {
+			t.Errorf("journal %dpg: re-attach did not replay (%d fallbacks)", pages, j.Fallbacks)
+		}
+		if j.ReattachCyc*5 > j.AttachCyc {
+			t.Errorf("journal %dpg: replay re-attach %d cyc vs cold %d: less than 5x win",
+				pages, j.ReattachCyc, j.AttachCyc)
+		}
+	}
+
+	// Determinism: the committed baseline is only diffable if a repeat
+	// run reproduces the cycle counts exactly.
+	again, err := SwitchScale(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CompareSwitchBaseline(&SwitchBaseline{Schema: SwitchBaselineSchema, Scale: pts}, again, 0); len(v) != 0 {
+		t.Errorf("sweep not deterministic: %v", v)
+	}
+}
+
+func TestSwitchBaselineRoundTripAndCompare(t *testing.T) {
+	pts := []SwitchScalePoint{
+		{Policy: "recompute", NCPU: 1, Pages: 1024, AttachCyc: 1000, ReattachCyc: 900, DetachCyc: 100},
+		{Policy: "journal", NCPU: 2, Pages: 4096, AttachCyc: 5000, ReattachCyc: 400, DetachCyc: 120, Replays: 1},
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteSwitchBaseline(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadSwitchBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Scale) != 2 {
+		t.Fatalf("round trip lost points: %+v", base.Scale)
+	}
+	if v := CompareSwitchBaseline(base, pts, 0); len(v) != 0 {
+		t.Fatalf("identical sweep reported violations: %v", v)
+	}
+
+	// Within tolerance: +10% on one field at 25% band.
+	drift := append([]SwitchScalePoint(nil), pts...)
+	drift[0].AttachCyc = 1100
+	if v := CompareSwitchBaseline(base, drift, 25); len(v) != 0 {
+		t.Fatalf("10%% drift flagged at 25%% tolerance: %v", v)
+	}
+	// Out of tolerance: +50%.
+	drift[0].AttachCyc = 1500
+	if v := CompareSwitchBaseline(base, drift, 25); len(v) != 1 {
+		t.Fatalf("50%% drift not flagged exactly once: %v", v)
+	}
+	// Missing and extra points are both violations.
+	if v := CompareSwitchBaseline(base, pts[:1], 25); len(v) != 1 {
+		t.Fatalf("missing point not flagged: %v", v)
+	}
+	extra := append([]SwitchScalePoint(nil), pts...)
+	extra = append(extra, SwitchScalePoint{Policy: "active", NCPU: 8, Pages: 64})
+	if v := CompareSwitchBaseline(base, extra, 25); len(v) != 1 {
+		t.Fatalf("extra point not flagged: %v", v)
+	}
+}

@@ -247,7 +247,11 @@ func Catalog(mc *core.Mercury) []*Fault {
 		},
 	}
 	if mc.Policy != core.TrackRecompute {
-		// Attach-time validation faults need the recompute policy.
+		// Attach-time validation faults need the recompute policy: under
+		// active tracking the accounting never goes stale, and under the
+		// journal policy a direct-memory corruption bypasses the VO write
+		// path the ring records, while pin failures only surface on the
+		// nondeterministic fallback path.
 		kept := faults[:0]
 		for _, f := range faults {
 			if f.Name == "pagetable-corruption" || f.Name == "hypercall-transient" {
@@ -256,6 +260,37 @@ func Catalog(mc *core.Mercury) []*Fault {
 			kept = append(kept, f)
 		}
 		faults = kept
+	}
+	if mc.Policy == core.TrackJournal {
+		faults = append(faults, &Fault{
+			// A corrupted dirty-journal record: the re-attach replay's
+			// per-slot memory verification must mismatch and roll the
+			// switch back; with the record restored the retry commits.
+			Name: "journal-corruption", Layer: LayerVMM, Detector: DetectSwitch,
+			Inject: func(ctx *Ctx) (*Active, error) {
+				j := ctx.MC.VMM.Journal()
+				if j == nil {
+					return nil, fmt.Errorf("chaos: journal policy selected but no journal installed")
+				}
+				// A clean attach/detach cycle arms a fresh epoch (clearing
+				// any structural degradation the interleaved workloads
+				// caused), then populated mappings put replayable entries
+				// in the ring for the corruption to hit.
+				if err := ctx.MC.SwitchSync(ctx.C, core.ModePartialVirtual); err != nil {
+					return nil, fmt.Errorf("chaos: arming journal: %w", err)
+				}
+				if err := ctx.MC.SwitchSync(ctx.C, core.ModeNative); err != nil {
+					return nil, fmt.Errorf("chaos: arming journal: %w", err)
+				}
+				base := ctx.P.Mmap(4, guest.ProtRead|guest.ProtWrite, true)
+				ctx.P.Touch(base, 4, true)
+				undo, err := j.CorruptEntryPick(ctx.Rand.Intn)
+				if err != nil {
+					return nil, err
+				}
+				return &Active{Undo: undo}, nil
+			},
+		})
 	}
 	return faults
 }

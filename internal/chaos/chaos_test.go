@@ -120,6 +120,70 @@ func TestChaosEveryFaultDetectedAndHealed(t *testing.T) {
 	}
 }
 
+// TestChaosJournalCorruptionCaught: under the journal policy the
+// catalog gains a fault that flips a bit in a recorded dirty-ring entry;
+// the re-attach replay must refuse to apply the divergent delta, roll
+// the switch back, and commit cleanly once the entry is restored.
+func TestChaosJournalCorruptionCaught(t *testing.T) {
+	mc := newSystem(t, 1, core.TrackJournal)
+	var jf *Fault
+	for _, f := range Catalog(mc) {
+		if f.Name == "journal-corruption" {
+			jf = f
+		}
+		if f.Name == "pagetable-corruption" || f.Name == "hypercall-transient" {
+			t.Fatalf("recompute-only fault %q present under journal policy", f.Name)
+		}
+	}
+	if jf == nil {
+		t.Fatal("journal policy catalog lacks journal-corruption")
+	}
+	if jf.Detector != DetectSwitch {
+		t.Fatalf("journal-corruption detector %q, want switch validation", jf.Detector)
+	}
+
+	rep, err := Run(mc, Config{Seed: 13, Episodes: 3, Faults: []*Fault{jf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != 3 || rep.Detected != 3 || rep.Healed != 3 || rep.Missed != 0 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	for _, ep := range rep.Episodes {
+		if !ep.RolledBack {
+			t.Fatalf("corrupted replay committed without rollback: %+v", ep)
+		}
+	}
+	if err := mc.CheckInvariants(mc.M.BootCPU()); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+}
+
+// TestChaosJournalCampaign: the full mixed-fault campaign holds under
+// the journal policy, on both UP and the SMP rendezvous path.
+func TestChaosJournalCampaign(t *testing.T) {
+	for _, ncpu := range []int{1, 2} {
+		t.Run(fmt.Sprintf("ncpu=%d", ncpu), func(t *testing.T) {
+			mc := newSystem(t, ncpu, core.TrackJournal)
+			cfg := DefaultConfig(17)
+			cfg.Episodes = 12
+			rep, err := Run(mc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Injected != cfg.Episodes || rep.Missed != 0 {
+				t.Fatalf("report: %s", rep.Summary())
+			}
+			if mc.Mode() != core.ModeNative {
+				t.Fatalf("mode = %v after campaign", mc.Mode())
+			}
+			if err := mc.CheckInvariants(mc.M.BootCPU()); err != nil {
+				t.Fatalf("final invariants: %v", err)
+			}
+		})
+	}
+}
+
 // TestChaosCampaignReproducible: the acceptance property — two runs
 // with the same seed produce identical episode sequences and reports,
 // while covering at least eight distinct fault classes across the

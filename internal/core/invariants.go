@@ -82,10 +82,21 @@ func (mc *Mercury) CheckInvariants(c *hw.CPU) error {
 		return fmt.Errorf("invariant: %w", err)
 	}
 	if !virtual && mc.Policy == TrackRecompute {
+		// The journal policy is exempt: it deliberately keeps the frame
+		// table (pins included) frozen as its detached snapshot.
 		for pfn := 0; pfn < mc.VMM.FT.NumFrames(); pfn++ {
 			if fi := mc.VMM.FT.Get(hw.PFN(pfn)); fi.Pinned {
 				return fmt.Errorf("invariant: frame %d still pinned while native", pfn)
 			}
+		}
+	}
+	if mc.Policy == TrackJournal {
+		j := mc.VMM.Journal()
+		if j == nil {
+			return fmt.Errorf("invariant: journal policy selected but no journal installed")
+		}
+		if err := j.CheckConsistent(); err != nil {
+			return fmt.Errorf("invariant: %w", err)
 		}
 	}
 

@@ -66,7 +66,26 @@ const (
 	// TrackActive mirrors every native page-table store into the VMM's
 	// accounting (2–3 % native overhead, faster attach).
 	TrackActive
+	// TrackJournal keeps the detached frame table frozen and records
+	// native page-table stores in a bounded dirty-frame journal; a
+	// re-attach replays only the journaled slots, falling back to the
+	// full recompute on ring overflow, structural changes, or a first
+	// attach. Cheaper native overhead than TrackActive, near-recompute
+	// robustness.
+	TrackJournal
 )
+
+func (p TrackingPolicy) String() string {
+	switch p {
+	case TrackRecompute:
+		return "recompute"
+	case TrackActive:
+		return "active"
+	case TrackJournal:
+		return "journal"
+	}
+	return fmt.Sprintf("policy%d", int(p))
+}
 
 // Stats records mode-switch behaviour.
 type Stats struct {
@@ -208,6 +227,9 @@ type Config struct {
 	// and LastSwitchError reports starvation (default DefaultMaxDeferrals;
 	// a non-draining VO refcount would otherwise retry forever).
 	MaxDeferrals int
+	// JournalEntries sizes the dirty-frame journal ring under
+	// TrackJournal (default xen.DefaultJournalEntries).
+	JournalEntries int
 }
 
 // DefaultMaxDeferrals is the default retry budget for a deferred switch
@@ -230,8 +252,14 @@ func New(cfg Config) (*Mercury, error) {
 	dom := v.AdoptDomain("mercury-os", m.Frames, true)
 
 	nat := vo.NewNative(m)
-	if cfg.Policy == TrackActive {
+	switch cfg.Policy {
+	case TrackActive:
 		nat.Track = &vo.Tracker{V: v, D: dom}
+	case TrackJournal:
+		if cfg.ShadowPaging {
+			return nil, fmt.Errorf("core: the journal policy requires direct paging")
+		}
+		nat.Journal = v.EnableJournal(cfg.JournalEntries)
 	}
 	k, err := guest.Boot(m, guest.Config{
 		Name:    "mercury-linux",

@@ -33,27 +33,7 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	// MaxDeferrals the request is abandoned and reported, instead of
 	// re-arming forever while SwitchSync spins unbounded.
 	if mc.K.VO().Refs() != 0 {
-		mc.Stats.Deferred.Add(1)
-		if h != nil {
-			h.deferred.Inc()
-			col.Tracer.Instant(c.ID, c.Now(), "switch/deferred", uint64(target))
-		}
-		if n := mc.deferrals.Add(1); n >= mc.maxDeferrals {
-			mc.Stats.StarvedSwitches.Add(1)
-			if h != nil {
-				h.starved.Inc()
-				col.Tracer.Instant(c.ID, c.Now(), "switch/starved", uint64(target))
-			}
-			mc.setLastError(fmt.Errorf(
-				"core: switch to %v starved by sensitive code (%d deferrals)",
-				target, n))
-			mc.deferrals.Store(0)
-			mc.pending.Store(-1)
-			return
-		}
-		mc.K.AddTimer(c, c.Now()+mc.retryTicks, func(tc *hw.CPU) {
-			tc.LAPIC.Post(hw.VecModeSwitch)
-		})
+		mc.deferSwitch(c, h, target)
 		return
 	}
 
@@ -62,6 +42,21 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	gsp := obs.Begin(col, c.ID, c.Now(), "switch/rendezvous-gather")
 	release := mc.rendezvous(c, target)
 	gsp.End(c.Now())
+
+	// Re-check the commit gate now that every other processor is parked:
+	// an operation that entered the virtualization object between the
+	// first check and the rendezvous IPI is parked mid-operation on an
+	// AP, still holding the refcount, and committing under it would land
+	// its remaining stores in the wrong mode (under the journal policy,
+	// a direct memory write the attached VMM never sees). No new
+	// operation can begin while the APs are held, so a zero count here
+	// is final.
+	if mc.K.VO().Refs() != 0 {
+		mc.smp.target.Store(int32(mc.Mode())) // APs reload the old mode
+		release()
+		mc.deferSwitch(c, h, target)
+		return
+	}
 
 	// The root span opens at the same instant the cycle accounting
 	// starts, so its duration equals Stats.LastAttachCyc/LastDetachCyc
@@ -130,6 +125,32 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	rsp.End(c.Now())
 }
 
+// deferSwitch postpones the pending switch via the §5.1.1 retry timer,
+// or abandons it as starved once the retry budget is spent.
+func (mc *Mercury) deferSwitch(c *hw.CPU, h *coreObs, target Mode) {
+	mc.Stats.Deferred.Add(1)
+	if h != nil {
+		h.deferred.Inc()
+		h.col.Tracer.Instant(c.ID, c.Now(), "switch/deferred", uint64(target))
+	}
+	if n := mc.deferrals.Add(1); n >= mc.maxDeferrals {
+		mc.Stats.StarvedSwitches.Add(1)
+		if h != nil {
+			h.starved.Inc()
+			h.col.Tracer.Instant(c.ID, c.Now(), "switch/starved", uint64(target))
+		}
+		mc.setLastError(fmt.Errorf(
+			"core: switch to %v starved by sensitive code (%d deferrals)",
+			target, n))
+		mc.deferrals.Store(0)
+		mc.pending.Store(-1)
+		return
+	}
+	mc.K.AddTimer(c, c.Now()+mc.retryTicks, func(tc *hw.CPU) {
+		tc.LAPIC.Post(hw.VecModeSwitch)
+	})
+}
+
 // attach activates the pre-cached VMM underneath the running kernel
 // (native -> partial/full virtual). On failure it rolls the hardware
 // and kernel state back so the system keeps running natively.
@@ -158,16 +179,24 @@ func (mc *Mercury) attach(c *hw.CPU, f *hw.TrapFrame, target Mode) error {
 	}
 
 	// -- frame accounting (§5.1.2): under the recompute policy the
-	// (stale) table is rebuilt by scanning and pinning every live root;
-	// under active tracking it is already valid. A validation failure
-	// here means the OS was in an inconsistent state (§8): roll back.
+	// (stale) table is rebuilt by scanning and pinning every live root —
+	// sharded across the CPUs parked at the rendezvous when there is
+	// more than one; under the journal policy only the dirty slots
+	// recorded while detached are replayed; under active tracking it is
+	// already valid. A validation failure here means the OS was in an
+	// inconsistent state (§8): roll back.
 	ph = obs.Begin(col, c.ID, c.Now(), "phase/frame-recompute")
-	if mc.Policy == TrackRecompute {
-		if err := v.RecomputeFrameInfo(c, mc.Dom, k.LiveRoots(c)); err != nil {
-			ph.End(c.Now())
-			rollback()
-			return fmt.Errorf("attach: %w", err)
-		}
+	var ferr error
+	switch mc.Policy {
+	case TrackRecompute:
+		ferr = v.RecomputeFrameInfoAuto(c, mc.Dom, k.LiveRoots(c), mc.recomputeWorkers())
+	case TrackJournal:
+		ferr = v.JournalReattach(c, mc.Dom, k.LiveRoots(c), mc.recomputeWorkers())
+	}
+	if ferr != nil {
+		ph.End(c.Now())
+		rollback()
+		return fmt.Errorf("attach: %w", ferr)
 	}
 	ph.End(c.Now())
 
@@ -241,10 +270,14 @@ func (mc *Mercury) detach(c *hw.CPU, f *hw.TrapFrame) error {
 
 	// -- frame accounting: drop the VMM's type/count state. Cheap —
 	// this asymmetry is why detach (~0.06 ms) is faster than attach
-	// (~0.22 ms) (§7.4).
+	// (~0.22 ms) (§7.4). The journal policy is cheaper still: the table
+	// is frozen in place and the dirty-frame ring armed.
 	ph = obs.Begin(col, c.ID, c.Now(), "phase/frame-release")
-	if mc.Policy == TrackRecompute {
+	switch mc.Policy {
+	case TrackRecompute:
 		v.ReleaseFrameInfo(c, mc.Dom)
+	case TrackJournal:
+		v.JournalDetach(c, mc.Dom)
 	}
 	ph.End(c.Now())
 
@@ -275,6 +308,11 @@ func (mc *Mercury) detach(c *hw.CPU, f *hw.TrapFrame) error {
 	ph.End(c.Now())
 	return nil
 }
+
+// recomputeWorkers returns how many CPUs the attach-time frame
+// recompute may shard across: every processor, since the APs are parked
+// at the §5.4 rendezvous for the duration of the switch.
+func (mc *Mercury) recomputeWorkers() int { return len(mc.M.CPUs) }
 
 // fixupSelectors is the code stub of §5.1.2: it walks every sleeping
 // thread's kernel stack and rewrites the privilege bits of cached

@@ -14,6 +14,7 @@ package guest
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -361,7 +362,10 @@ func (k *Kernel) validateResumeFrame(c *hw.CPU, f *hw.TrapFrame) {
 }
 
 // LiveRoots returns the page-directory root of every live address space
-// — what Mercury's recompute pass must (re)validate at attach time.
+// — what Mercury's recompute pass must (re)validate at attach time. The
+// roots are sorted so walk order (and its cycle accounting, including
+// the sharded recompute's partition) does not inherit map-iteration
+// randomness.
 func (k *Kernel) LiveRoots(c *hw.CPU) []hw.PFN {
 	k.lockCharged(c)
 	defer k.releaseRaw()
@@ -373,6 +377,7 @@ func (k *Kernel) LiveRoots(c *hw.CPU) []hw.PFN {
 			roots = append(roots, p.AS.PT.Root)
 		}
 	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 	return roots
 }
 

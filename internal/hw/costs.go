@@ -82,6 +82,12 @@ type CostModel struct {
 	// during a native->virtual switch
 	FrameRelease Cycles // dropping the accounting for one present entry
 	// while devalidating a table at detach time
+	FrameMerge Cycles // folding one shard-local frame delta into the
+	// frame table when the recompute is parallelized
+	JournalAppend Cycles // appending one entry to the dirty-frame
+	// journal on the native PTE-write path
+	JournalReplayEntry Cycles // verifying and replaying one condensed
+	// journal slot at re-attach time
 	SelectorFixup Cycles // patching cached segment selectors on one
 	// interrupted thread stack
 	StateReload Cycles // reloading CR3/IDT/GDT and patching the return
@@ -170,10 +176,13 @@ func DefaultCosts() *CostModel {
 		VORefCount:   24,
 		MirrorUpdate: 52,
 
-		FrameValidate: 95,
-		FrameRelease:  42,
-		SelectorFixup: 160,
-		StateReload:   2600,
+		FrameValidate:      95,
+		FrameRelease:       42,
+		FrameMerge:         18,
+		JournalAppend:      9,
+		JournalReplayEntry: 75,
+		SelectorFixup:      160,
+		StateReload:        2600,
 
 		ForkBase:        16_000,
 		ForkPerPage:     300,

@@ -25,7 +25,11 @@ type Native struct {
 	refcount
 	// Track, when non-nil, enables the active-tracking policy.
 	Track *Tracker
-	Stats Stats
+	// Journal, when non-nil, enables the dirty-frame journal policy:
+	// page-table stores append to the ring, structural changes (root
+	// registration/release) degrade the epoch to full recompute.
+	Journal *xen.DirtyJournal
+	Stats   Stats
 }
 
 // NewNative returns Mercury's native-mode object.
@@ -84,6 +88,10 @@ func (n *Native) WritePTE(c *hw.CPU, table hw.PFN, idx int, e hw.PTE) {
 		}
 		return
 	}
+	if n.Journal != nil {
+		c.Charge(n.d.M.Costs.JournalAppend)
+		n.Journal.Record(table, idx, hw.ReadPTE(n.d.M.Mem, table, idx), e)
+	}
 	c.Charge(n.d.M.Costs.PTEWriteNative)
 	hw.WritePTE(n.d.M.Mem, table, idx, e)
 }
@@ -99,12 +107,19 @@ func (n *Native) WritePTEBatch(c *hw.CPU, batch []xen.MMUUpdate) {
 			}
 			continue
 		}
+		if n.Journal != nil {
+			c.Charge(n.d.M.Costs.JournalAppend)
+			n.Journal.Record(u.Table, u.Index,
+				hw.ReadPTE(n.d.M.Mem, u.Table, u.Index), u.New)
+		}
 		c.Charge(n.d.M.Costs.PTEWriteNative)
 		hw.WritePTE(n.d.M.Mem, u.Table, u.Index, u.New)
 	}
 }
 
-// RegisterRoot pins the root in the mirror under active tracking.
+// RegisterRoot pins the root in the mirror under active tracking; under
+// the journal policy a new root is a structural change the ring cannot
+// express, degrading the epoch to full recompute.
 func (n *Native) RegisterRoot(c *hw.CPU, root hw.PFN) {
 	defer n.call(c)()
 	if n.Track != nil {
@@ -112,15 +127,22 @@ func (n *Native) RegisterRoot(c *hw.CPU, root hw.PFN) {
 			panic(fmt.Sprintf("vo: active tracking pin: %v", err))
 		}
 	}
+	if n.Journal != nil {
+		n.Journal.RecordStructural()
+	}
 }
 
-// ReleaseRoot unpins the root in the mirror under active tracking.
+// ReleaseRoot unpins the root in the mirror under active tracking; see
+// RegisterRoot for the journal-policy semantics.
 func (n *Native) ReleaseRoot(c *hw.CPU, root hw.PFN) {
 	defer n.call(c)()
 	if n.Track != nil {
 		if err := n.Track.V.MirrorUnpinRoot(c, n.Track.D, root); err != nil {
 			panic(fmt.Sprintf("vo: active tracking unpin: %v", err))
 		}
+	}
+	if n.Journal != nil {
+		n.Journal.RecordStructural()
 	}
 }
 

@@ -64,38 +64,104 @@ type FrameInfo struct {
 	Pinned    bool   // explicitly pinned as a page-table root or table
 }
 
-// FrameTable is the VMM's per-frame accounting array.
+// frameAcct is the resettable part of a frame's accounting. Ownership
+// lives in its own array so a detach can drop the whole accounting state
+// with one bulk zero without disturbing who owns what.
+type frameAcct struct {
+	Type      FrameType
+	Pinned    bool
+	TypeCount uint32 // references holding the current type
+	TotalRefs uint32 // all references (existence count)
+}
+
+// FrameTable is the VMM's per-frame accounting array. Accounting state
+// (type/counts/pin) and ownership are split into parallel arrays: Reset
+// bulk-zeroes the accounting array while ownership persists across
+// detach/attach cycles.
+//
+// The table also keeps an epoch-stamped dirty set: every accounting
+// mutation records the frame as touched since the last Reset, so a
+// detach can charge cycles proportional to the frames the last attached
+// epoch actually dirtied instead of the whole table.
 type FrameTable struct {
-	info []FrameInfo
-	mem  *hw.PhysMem
+	owner []DomID
+	acct  []frameAcct
+	mem   *hw.PhysMem
+
+	touchEpoch []uint64
+	touched    []hw.PFN
+	epoch      uint64
 }
 
 // NewFrameTable builds accounting for every frame of mem.
 func NewFrameTable(mem *hw.PhysMem) *FrameTable {
-	return &FrameTable{info: make([]FrameInfo, mem.NumFrames()), mem: mem}
+	n := mem.NumFrames()
+	return &FrameTable{
+		owner:      make([]DomID, n),
+		acct:       make([]frameAcct, n),
+		mem:        mem,
+		touchEpoch: make([]uint64, n),
+		epoch:      1,
+	}
 }
 
+// touch records pfn as dirtied in the current epoch (deduplicated).
+func (ft *FrameTable) touch(pfn hw.PFN) {
+	if ft.touchEpoch[pfn] != ft.epoch {
+		ft.touchEpoch[pfn] = ft.epoch
+		ft.touched = append(ft.touched, pfn)
+	}
+}
+
+// Touched returns how many distinct frames have had accounting mutations
+// since the last Reset.
+func (ft *FrameTable) Touched() int { return len(ft.touched) }
+
 // Get returns a copy of the frame's info.
-func (ft *FrameTable) Get(pfn hw.PFN) FrameInfo { return ft.info[pfn] }
+func (ft *FrameTable) Get(pfn hw.PFN) FrameInfo {
+	a := ft.acct[pfn]
+	return FrameInfo{
+		Owner:     ft.owner[pfn],
+		Type:      a.Type,
+		TypeCount: a.TypeCount,
+		TotalRefs: a.TotalRefs,
+		Pinned:    a.Pinned,
+	}
+}
 
 // SetOwner assigns a frame to a domain.
-func (ft *FrameTable) SetOwner(pfn hw.PFN, d DomID) { ft.info[pfn].Owner = d }
+func (ft *FrameTable) SetOwner(pfn hw.PFN, d DomID) { ft.owner[pfn] = d }
 
 // Set overwrites a frame's accounting entry wholesale. This deliberately
 // bypasses the type system — it exists for fault injection (bit-flips in
 // the accounting array) and for restoring a saved entry afterwards.
-func (ft *FrameTable) Set(pfn hw.PFN, fi FrameInfo) { ft.info[pfn] = fi }
+func (ft *FrameTable) Set(pfn hw.PFN, fi FrameInfo) {
+	ft.owner[pfn] = fi.Owner
+	ft.acct[pfn] = frameAcct{
+		Type:      fi.Type,
+		TypeCount: fi.TypeCount,
+		TotalRefs: fi.TotalRefs,
+		Pinned:    fi.Pinned,
+	}
+	ft.touch(pfn)
+}
 
 // Reset clears type/count state for every frame while preserving
-// ownership. A detach (virtual -> native switch) resets the table; the
-// next attach recomputes it.
+// ownership: one bulk zero of the accounting array. A detach
+// (virtual -> native switch) resets the table; the next attach
+// recomputes it.
 func (ft *FrameTable) Reset() {
-	for i := range ft.info {
-		ft.info[i].Type = FrameNone
-		ft.info[i].TypeCount = 0
-		ft.info[i].TotalRefs = 0
-		ft.info[i].Pinned = false
-	}
+	clear(ft.acct)
+	ft.epoch++
+	ft.touched = ft.touched[:0]
+}
+
+// ResetCharged is Reset with its cost charged to c: per touched frame,
+// not per table entry, so a detach after a small attached epoch is
+// proportionally cheap.
+func (ft *FrameTable) ResetCharged(c *hw.CPU, perFrame hw.Cycles) {
+	c.Charge(perFrame * hw.Cycles(len(ft.touched)))
+	ft.Reset()
 }
 
 // errType reports a type-safety violation.
@@ -109,18 +175,19 @@ func errType(pfn hw.PFN, have FrameType, haveCount uint32, want FrameType) error
 // reference does NOT validate entries here; validation is done by the
 // pin/validate paths, which charge cycles.
 func (ft *FrameTable) GetType(pfn hw.PFN, want FrameType) error {
-	fi := &ft.info[pfn]
+	fi := &ft.acct[pfn]
 	if fi.TypeCount != 0 && fi.Type != want {
 		return errType(pfn, fi.Type, fi.TypeCount, want)
 	}
 	fi.Type = want
 	fi.TypeCount++
+	ft.touch(pfn)
 	return nil
 }
 
 // PutType drops one typed reference.
 func (ft *FrameTable) PutType(pfn hw.PFN) {
-	fi := &ft.info[pfn]
+	fi := &ft.acct[pfn]
 	if fi.TypeCount == 0 {
 		panic(fmt.Sprintf("xen: type count underflow on frame %d", pfn))
 	}
@@ -128,25 +195,36 @@ func (ft *FrameTable) PutType(pfn hw.PFN) {
 	if fi.TypeCount == 0 {
 		fi.Type = FrameNone
 	}
+	ft.touch(pfn)
 }
 
 // GetRef takes one existence reference.
-func (ft *FrameTable) GetRef(pfn hw.PFN) { ft.info[pfn].TotalRefs++ }
+func (ft *FrameTable) GetRef(pfn hw.PFN) {
+	ft.acct[pfn].TotalRefs++
+	ft.touch(pfn)
+}
 
 // PutRef drops one existence reference.
 func (ft *FrameTable) PutRef(pfn hw.PFN) {
-	fi := &ft.info[pfn]
+	fi := &ft.acct[pfn]
 	if fi.TotalRefs == 0 {
 		panic(fmt.Sprintf("xen: total ref underflow on frame %d", pfn))
 	}
 	fi.TotalRefs--
+	ft.touch(pfn)
+}
+
+// setPinned flips the pin mark on a frame.
+func (ft *FrameTable) setPinned(pfn hw.PFN, on bool) {
+	ft.acct[pfn].Pinned = on
+	ft.touch(pfn)
 }
 
 // CheckInvariants verifies the accounting invariants the property tests
 // rely on. It returns the first violation found.
 func (ft *FrameTable) CheckInvariants() error {
-	for pfn := range ft.info {
-		fi := &ft.info[pfn]
+	for pfn := range ft.acct {
+		fi := &ft.acct[pfn]
 		if fi.TypeCount > fi.TotalRefs {
 			return fmt.Errorf("xen: frame %d: type count %d exceeds total refs %d",
 				pfn, fi.TypeCount, fi.TotalRefs)
@@ -169,13 +247,13 @@ func (ft *FrameTable) CheckInvariants() error {
 // Equal compares two tables entry by entry; the recompute-vs-active-
 // tracking property test uses it.
 func (ft *FrameTable) Equal(o *FrameTable) error {
-	if len(ft.info) != len(o.info) {
+	if len(ft.acct) != len(o.acct) {
 		return fmt.Errorf("xen: frame tables differ in size")
 	}
-	for i := range ft.info {
-		a, b := ft.info[i], o.info[i]
-		if a != b {
-			return fmt.Errorf("xen: frame %d differs: %+v vs %+v", i, a, b)
+	for i := range ft.acct {
+		if ft.owner[i] != o.owner[i] || ft.acct[i] != o.acct[i] {
+			return fmt.Errorf("xen: frame %d differs: %+v vs %+v",
+				i, ft.Get(hw.PFN(i)), o.Get(hw.PFN(i)))
 		}
 	}
 	return nil
@@ -183,10 +261,20 @@ func (ft *FrameTable) Equal(o *FrameTable) error {
 
 // Clone deep-copies the table.
 func (ft *FrameTable) Clone() *FrameTable {
-	cp := &FrameTable{info: make([]FrameInfo, len(ft.info)), mem: ft.mem}
-	copy(cp.info, ft.info)
+	cp := &FrameTable{
+		owner:      make([]DomID, len(ft.owner)),
+		acct:       make([]frameAcct, len(ft.acct)),
+		mem:        ft.mem,
+		touchEpoch: make([]uint64, len(ft.touchEpoch)),
+		touched:    make([]hw.PFN, len(ft.touched)),
+		epoch:      ft.epoch,
+	}
+	copy(cp.owner, ft.owner)
+	copy(cp.acct, ft.acct)
+	copy(cp.touchEpoch, ft.touchEpoch)
+	copy(cp.touched, ft.touched)
 	return cp
 }
 
 // NumFrames returns the table size.
-func (ft *FrameTable) NumFrames() int { return len(ft.info) }
+func (ft *FrameTable) NumFrames() int { return len(ft.acct) }

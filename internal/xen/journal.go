@@ -1,0 +1,416 @@
+package xen
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hw"
+)
+
+// The dirty-frame journal is Mercury's third frame-tracking policy,
+// between the §5.1.2 extremes of recompute-on-switch (zero native
+// overhead, expensive attach) and active tracking (every native PTE
+// store mirrored through the VMM, cheap attach):
+//
+// At detach the VMM keeps its frame table frozen as a snapshot instead
+// of releasing it, and the native kernel's PTE-write path appends
+// (table, index, old, new) records to a bounded ring — a few cycles per
+// store, far below the active-tracking mirror cost. On re-attach only
+// the journaled slots are revalidated against the snapshot and replayed
+// as frame-accounting deltas. Anything the journal cannot represent —
+// ring overflow, a structural change (a new or dropped page-table
+// frame, a write to a non-L1 table), or a first attach with no snapshot
+// — degrades to the full recompute path, so correctness never depends
+// on the journal being complete: an incomplete journal only costs the
+// fallback.
+//
+// Replay is transactional and self-validating: every condensed slot is
+// checked against what memory actually contains (a corrupted or forged
+// record mismatches and fails the attach, feeding the failure-resistant
+// switch's rollback), and the accumulated deltas are validated against
+// the snapshot's type system before any of them is applied.
+
+// JournalEntry is one recorded native PTE store.
+type JournalEntry struct {
+	Table hw.PFN
+	Index int
+	Old   hw.PTE
+	New   hw.PTE
+}
+
+// JournalStats counts journal activity (read under the journal lock,
+// exposed by value via StatsSnapshot).
+type JournalStats struct {
+	Appends      uint64 // entries recorded
+	Overflows    uint64 // detach epochs that overflowed the ring
+	Structural   uint64 // detach epochs degraded by structural changes
+	Replays      uint64 // re-attaches served by replay
+	ReplaySlots  uint64 // condensed slots replayed
+	ReplayErrors uint64 // replays rejected by validation
+	Fallbacks    uint64 // re-attaches that fell back to full recompute
+}
+
+// DirtyJournal is the bounded ring of PTE stores made while detached.
+type DirtyJournal struct {
+	mu         sync.Mutex
+	ft         *FrameTable
+	capacity   int
+	entries    []JournalEntry
+	recording  bool // armed by a detach, disarmed by the next attach
+	overflowed bool
+	structural bool
+	snapshot   bool // the frozen frame table matches the arm point
+	stats      JournalStats
+}
+
+// DefaultJournalEntries is the default ring capacity.
+const DefaultJournalEntries = 8192
+
+// EnableJournal installs a dirty-frame journal on the VMM and returns
+// it. capacity <= 0 selects the default ring size.
+func (v *VMM) EnableJournal(capacity int) *DirtyJournal {
+	if capacity <= 0 {
+		capacity = DefaultJournalEntries
+	}
+	v.journal = &DirtyJournal{
+		ft:       v.FT,
+		capacity: capacity,
+		entries:  make([]JournalEntry, 0, capacity),
+	}
+	return v.journal
+}
+
+// Journal returns the installed journal, or nil.
+func (v *VMM) Journal() *DirtyJournal { return v.journal }
+
+// Arm starts a fresh journaling epoch at detach time: the current frame
+// table becomes the frozen snapshot and subsequent native PTE stores
+// are recorded.
+func (j *DirtyJournal) Arm() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = j.entries[:0]
+	j.recording = true
+	j.overflowed = false
+	j.structural = false
+	j.snapshot = true
+}
+
+// Disarm stops recording and invalidates the snapshot (the frame table
+// is live again, or is about to be rebuilt from scratch).
+func (j *DirtyJournal) Disarm() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = j.entries[:0]
+	j.recording = false
+	j.snapshot = false
+}
+
+// Recording reports whether an epoch is armed.
+func (j *DirtyJournal) Recording() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recording
+}
+
+// Len returns the number of buffered entries.
+func (j *DirtyJournal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// StatsSnapshot returns a copy of the counters.
+func (j *DirtyJournal) StatsSnapshot() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Record appends one native PTE store to the ring. Stores to anything
+// but a snapshot-known L1 table (a fresh table the snapshot never
+// validated, or a directory) are structural: the journal cannot replay
+// them and degrades the epoch to full-recompute.
+func (j *DirtyJournal) Record(table hw.PFN, idx int, old, new hw.PTE) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.recording || j.structural || j.overflowed {
+		return
+	}
+	if j.ft.Get(table).Type != FrameL1 {
+		j.structural = true
+		j.stats.Structural++
+		return
+	}
+	if len(j.entries) >= j.capacity {
+		j.overflowed = true
+		j.stats.Overflows++
+		return
+	}
+	j.entries = append(j.entries, JournalEntry{Table: table, Index: idx, Old: old, New: new})
+	j.stats.Appends++
+}
+
+// RecordStructural marks the epoch as containing a change the journal
+// cannot replay (root registered or released, table freed).
+func (j *DirtyJournal) RecordStructural() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.recording || j.structural {
+		return
+	}
+	j.structural = true
+	j.stats.Structural++
+}
+
+// CheckConsistent verifies the journal's own bookkeeping invariants
+// (part of the system-wide invariant sweep).
+func (j *DirtyJournal) CheckConsistent() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.entries) > j.capacity {
+		return fmt.Errorf("xen: journal holds %d entries over capacity %d",
+			len(j.entries), j.capacity)
+	}
+	if j.recording && !j.snapshot {
+		return fmt.Errorf("xen: journal recording without a frozen snapshot")
+	}
+	return nil
+}
+
+// CorruptEntryPick flips bits in the New field of a buffered entry that
+// is the final store to its slot, so replay's memory-verification must
+// reject it. The victim is chosen with pick (fault injection only).
+// The returned closure restores the entry.
+func (j *DirtyJournal) CorruptEntryPick(pick func(n int) int) (func(), error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.entries) == 0 {
+		return nil, fmt.Errorf("xen: journal empty, nothing to corrupt")
+	}
+	// Final-store entries: a corrupted superseded entry would be masked
+	// by slot condensation.
+	last := make(map[[2]uint64]int)
+	for i, e := range j.entries {
+		last[[2]uint64{uint64(e.Table), uint64(e.Index)}] = i
+	}
+	var finals []int
+	for i := range j.entries {
+		if last[[2]uint64{uint64(j.entries[i].Table), uint64(j.entries[i].Index)}] == i {
+			finals = append(finals, i)
+		}
+	}
+	victim := finals[pick(len(finals))]
+	saved := j.entries[victim]
+	j.entries[victim].New = saved.New ^ hw.PTE(1<<hw.PageShift) // point one frame over
+	return func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if victim < len(j.entries) {
+			j.entries[victim] = saved
+		}
+	}, nil
+}
+
+// JournalDetach is the journal policy's detach path: instead of
+// releasing the frame accounting it freezes it and arms the ring.
+// Detach cost is a constant arm charge — cheaper even than the
+// touched-proportional release.
+func (v *VMM) JournalDetach(c *hw.CPU, d *Domain) {
+	j := v.journal
+	if j == nil {
+		v.ReleaseFrameInfo(c, d)
+		return
+	}
+	c.Charge(v.M.Costs.FrameRelease)
+	j.Arm()
+}
+
+// journalSlot is one condensed slot: the first recorded old value and
+// the last recorded new value of a (table, index) pair.
+type journalSlot struct {
+	table    hw.PFN
+	idx      int
+	firstOld hw.PTE
+	lastNew  hw.PTE
+}
+
+// JournalReattach is the journal policy's attach path: replay the
+// journaled slots against the frozen snapshot, or fall back to a full
+// recompute when the epoch degraded (first attach, overflow, structural
+// change). workers is forwarded to the recompute on the fallback path.
+func (v *VMM) JournalReattach(c *hw.CPU, d *Domain, roots []hw.PFN, workers int) error {
+	j := v.journal
+	if j == nil {
+		return v.RecomputeFrameInfoAuto(c, d, roots, workers)
+	}
+	j.mu.Lock()
+	canReplay := j.snapshot && j.recording && !j.overflowed && !j.structural
+	if !canReplay {
+		j.stats.Fallbacks++
+		j.mu.Unlock()
+		return v.journalFallback(c, d, roots, workers)
+	}
+	err := v.replayLocked(c, d, j)
+	if err != nil {
+		// Nothing was applied and the ring is intact: after the switch's
+		// rollback, a retry (with the fault undone) can still replay.
+		j.stats.ReplayErrors++
+		j.mu.Unlock()
+		return err
+	}
+	j.stats.Replays++
+	j.entries = j.entries[:0]
+	j.recording = false
+	j.snapshot = false
+	j.mu.Unlock()
+	return nil
+}
+
+// journalFallback rebuilds the accounting from scratch: drop the stale
+// snapshot (charged per touched frame, not per table entry) and run the
+// full recompute. The stale snapshot must never be walk-released —
+// memory has moved on since it was taken.
+func (v *VMM) journalFallback(c *hw.CPU, d *Domain, roots []hw.PFN, workers int) error {
+	j := v.journal
+	j.Disarm()
+	v.lockMMU(c)
+	for root := range d.pinnedRoots {
+		delete(d.pinnedRoots, root)
+	}
+	v.FT.ResetCharged(c, v.M.Costs.FrameRelease)
+	v.unlockMMU()
+	return v.RecomputeFrameInfoAuto(c, d, roots, workers)
+}
+
+// replayLocked verifies and applies the journal (j.mu held). Phase 1
+// condenses entries per slot and checks each slot's final value against
+// memory — the corruption detector. Phase 2 accumulates the frame
+// deltas and validates them against the snapshot's type system. Phase 3
+// applies; nothing is written before everything has validated.
+func (v *VMM) replayLocked(c *hw.CPU, d *Domain, j *DirtyJournal) error {
+	v.lockMMU(c)
+	defer v.unlockMMU()
+
+	// Phase 1: condense, in first-touch order.
+	type slotKey struct {
+		table hw.PFN
+		idx   int
+	}
+	slots := make(map[slotKey]*journalSlot)
+	var order []slotKey
+	for _, e := range j.entries {
+		k := slotKey{e.Table, e.Index}
+		if s, ok := slots[k]; ok {
+			s.lastNew = e.New
+			continue
+		}
+		slots[k] = &journalSlot{table: e.Table, idx: e.Index, firstOld: e.Old, lastNew: e.New}
+		order = append(order, k)
+	}
+	c.Charge(v.M.Costs.JournalReplayEntry * hw.Cycles(len(order)))
+	j.stats.ReplaySlots += uint64(len(order))
+
+	type frameDelta struct {
+		refs int64
+		wr   int64
+	}
+	deltas := make(map[hw.PFN]*frameDelta)
+	dd := func(pfn hw.PFN) *frameDelta {
+		fd := deltas[pfn]
+		if fd == nil {
+			fd = &frameDelta{}
+			deltas[pfn] = fd
+		}
+		return fd
+	}
+	for _, k := range order {
+		s := slots[k]
+		fi := v.FT.Get(s.table)
+		if fi.Type != FrameL1 || fi.TypeCount == 0 {
+			return fmt.Errorf("xen: journal replay: frame %d recorded as a table but snapshot says %s",
+				s.table, fi.Type)
+		}
+		if cur := hw.ReadPTE(v.M.Mem, s.table, s.idx); cur != s.lastNew {
+			return fmt.Errorf("xen: journal replay: table %d[%d] holds %#x, journal says %#x",
+				s.table, s.idx, uint64(cur), uint64(s.lastNew))
+		}
+		if s.firstOld.Present() {
+			fd := dd(s.firstOld.Frame())
+			fd.refs--
+			if s.firstOld.Writable() {
+				fd.wr--
+			}
+		}
+		if s.lastNew.Present() {
+			pfn := s.lastNew.Frame()
+			if !v.M.Mem.Valid(pfn) {
+				return fmt.Errorf("xen: journal replay: mapping of nonexistent frame %d", pfn)
+			}
+			if owner := v.FT.Get(pfn).Owner; owner != d.ID && owner != DomVMM {
+				return fmt.Errorf("xen: journal replay: dom%d mapping foreign frame %d (owner dom%d)",
+					d.ID, pfn, owner)
+			}
+			fd := dd(pfn)
+			fd.refs++
+			if s.lastNew.Writable() {
+				fd.wr++
+			}
+		}
+	}
+
+	// Phase 2: validate deltas against the snapshot.
+	for pfn, fd := range deltas {
+		fi := v.FT.Get(pfn)
+		if fd.wr > 0 {
+			// A new writable mapping: only legal on frames that are
+			// untyped or already writable — never on a live page table.
+			if fi.TypeCount > 0 && fi.Type != FrameWritable {
+				return errType(pfn, fi.Type, fi.TypeCount, FrameWritable)
+			}
+		}
+		if fd.wr < 0 {
+			if fi.Type != FrameWritable || int64(fi.TypeCount) < -fd.wr {
+				return fmt.Errorf("xen: journal replay: dropping %d writable refs from frame %d (%s, count %d)",
+					-fd.wr, pfn, fi.Type, fi.TypeCount)
+			}
+		}
+		if fd.refs < 0 && int64(fi.TotalRefs) < -fd.refs {
+			return fmt.Errorf("xen: journal replay: ref underflow on frame %d", pfn)
+		}
+	}
+
+	// Phase 3: apply in deterministic (first-touch) slot-delta order.
+	var apply []hw.PFN
+	for pfn := range deltas {
+		apply = append(apply, pfn)
+	}
+	sortPFNs(apply)
+	for _, pfn := range apply {
+		fd := deltas[pfn]
+		fi := v.FT.Get(pfn)
+		fi.TotalRefs = uint32(int64(fi.TotalRefs) + fd.refs)
+		tc := int64(fi.TypeCount)
+		if fd.wr != 0 {
+			tc += fd.wr
+			if tc > 0 {
+				fi.Type = FrameWritable
+			} else {
+				fi.Type = FrameNone
+			}
+		}
+		fi.TypeCount = uint32(tc)
+		v.FT.Set(pfn, fi)
+	}
+	return nil
+}
+
+// sortPFNs sorts in place (insertion sort is fine at replay sizes, and
+// avoids importing sort for a hot-ish path).
+func sortPFNs(p []hw.PFN) {
+	for i := 1; i < len(p); i++ {
+		for k := i; k > 0 && p[k] < p[k-1]; k-- {
+			p[k], p[k-1] = p[k-1], p[k]
+		}
+	}
+}

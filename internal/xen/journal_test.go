@@ -1,0 +1,243 @@
+package xen
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// journalWrite performs one native-mode PTE store the way the native VO
+// does: record the old value, then write memory.
+func journalWrite(v *VMM, j *DirtyJournal, table hw.PFN, idx int, e hw.PTE) {
+	j.Record(table, idx, hw.ReadPTE(v.M.Mem, table, idx), e)
+	hw.WritePTE(v.M.Mem, table, idx, e)
+}
+
+// canonical releases the current accounting and rebuilds it with the
+// serial recompute — the reference result for the current memory state.
+func canonical(t *testing.T, v *VMM, d *Domain, c *hw.CPU, roots []hw.PFN) *FrameTable {
+	t.Helper()
+	v.ReleaseFrameInfo(c, d)
+	if err := v.RecomputeFrameInfo(c, d, roots); err != nil {
+		t.Fatal(err)
+	}
+	return v.FT.Clone()
+}
+
+func TestJournalReplayMatchesRecompute(t *testing.T) {
+	v, d, c := testVMM(t)
+	j := v.EnableJournal(0)
+	tb, data := buildTree(t, v, d, 8)
+	roots := []hw.PFN{tb.Root}
+	if err := v.RecomputeFrameInfo(c, d, roots); err != nil {
+		t.Fatal(err)
+	}
+
+	v.JournalDetach(c, d)
+	if !j.Recording() {
+		t.Fatal("detach did not arm the journal")
+	}
+
+	// Native-mode churn: remap one page to a fresh frame, drop the write
+	// bit on another, clear a third, and double-write a slot (the replay
+	// must condense it).
+	s0, _ := tb.ExistingSlot(0x0800_0000)
+	s1, _ := tb.ExistingSlot(0x0800_0000 + 1<<hw.PageShift)
+	s2, _ := tb.ExistingSlot(0x0800_0000 + 2<<hw.PageShift)
+	fresh := d.Frames.Alloc()
+	journalWrite(v, j, s0.Table, s0.Index, hw.MakePTE(fresh, hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+	journalWrite(v, j, s1.Table, s1.Index, hw.MakePTE(data[1], hw.PTEPresent|hw.PTEUser))
+	journalWrite(v, j, s2.Table, s2.Index, 0)
+	journalWrite(v, j, s2.Table, s2.Index, hw.MakePTE(data[2], hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+
+	if err := v.JournalReattach(c, d, roots, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := j.StatsSnapshot()
+	if st.Replays != 1 || st.Fallbacks != 0 {
+		t.Fatalf("stats after replay: %+v", st)
+	}
+	if st.ReplaySlots != 3 {
+		t.Fatalf("condensation: %d slots replayed, want 3", st.ReplaySlots)
+	}
+	replayed := v.FT.Clone()
+	if err := v.FT.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := canonical(t, v, d, c, roots).Equal(replayed); err != nil {
+		t.Fatalf("journal replay diverges from recompute: %v", err)
+	}
+}
+
+func TestJournalFirstAttachFallsBack(t *testing.T) {
+	v, d, c := testVMM(t)
+	j := v.EnableJournal(0)
+	tb, _ := buildTree(t, v, d, 4)
+	roots := []hw.PFN{tb.Root}
+	// No detach has armed the ring: the first attach has no snapshot.
+	if err := v.JournalReattach(c, d, roots, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.StatsSnapshot(); st.Fallbacks != 1 || st.Replays != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !d.HasPinned(tb.Root) {
+		t.Fatal("fallback did not pin the root")
+	}
+}
+
+func TestJournalOverflowFallsBack(t *testing.T) {
+	v, d, c := testVMM(t)
+	j := v.EnableJournal(2)
+	tb, data := buildTree(t, v, d, 6)
+	roots := []hw.PFN{tb.Root}
+	if err := v.RecomputeFrameInfo(c, d, roots); err != nil {
+		t.Fatal(err)
+	}
+	v.JournalDetach(c, d)
+
+	for i := 0; i < 4; i++ {
+		s, _ := tb.ExistingSlot(hw.VirtAddr(0x0800_0000 + i<<hw.PageShift))
+		journalWrite(v, j, s.Table, s.Index, hw.MakePTE(data[i], hw.PTEPresent|hw.PTEUser))
+	}
+	if st := j.StatsSnapshot(); st.Overflows != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := v.JournalReattach(c, d, roots, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.StatsSnapshot(); st.Fallbacks != 1 || st.Replays != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	replayed := v.FT.Clone()
+	if err := canonical(t, v, d, c, roots).Equal(replayed); err != nil {
+		t.Fatalf("overflow fallback diverges from recompute: %v", err)
+	}
+}
+
+func TestJournalStructuralChangeFallsBack(t *testing.T) {
+	v, d, c := testVMM(t)
+	j := v.EnableJournal(0)
+	tb, _ := buildTree(t, v, d, 4)
+	roots := []hw.PFN{tb.Root}
+	if err := v.RecomputeFrameInfo(c, d, roots); err != nil {
+		t.Fatal(err)
+	}
+	v.JournalDetach(c, d)
+	j.RecordStructural() // e.g. a root registered while native
+	if err := v.JournalReattach(c, d, roots, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.StatsSnapshot(); st.Structural != 1 || st.Fallbacks != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// A store to a frame the snapshot does not know as an L1 (here: a
+// directory) is structural too — the ring cannot replay it.
+func TestJournalNonLeafStoreIsStructural(t *testing.T) {
+	v, d, c := testVMM(t)
+	j := v.EnableJournal(0)
+	tb, _ := buildTree(t, v, d, 4)
+	roots := []hw.PFN{tb.Root}
+	if err := v.RecomputeFrameInfo(c, d, roots); err != nil {
+		t.Fatal(err)
+	}
+	v.JournalDetach(c, d)
+	j.Record(tb.Root, 5, 0, 0) // L2 store
+	if st := j.StatsSnapshot(); st.Structural != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if j.Len() != 0 {
+		t.Fatal("structural store buffered")
+	}
+}
+
+func TestJournalCorruptionDetectedAndRetryable(t *testing.T) {
+	v, d, c := testVMM(t)
+	j := v.EnableJournal(0)
+	tb, data := buildTree(t, v, d, 6)
+	roots := []hw.PFN{tb.Root}
+	if err := v.RecomputeFrameInfo(c, d, roots); err != nil {
+		t.Fatal(err)
+	}
+	v.JournalDetach(c, d)
+	for i := 0; i < 3; i++ {
+		s, _ := tb.ExistingSlot(hw.VirtAddr(0x0800_0000 + i<<hw.PageShift))
+		journalWrite(v, j, s.Table, s.Index, hw.MakePTE(data[i], hw.PTEPresent|hw.PTEUser))
+	}
+	before := v.FT.Clone()
+
+	undo, err := j.CorruptEntryPick(func(n int) int { return n / 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.JournalReattach(c, d, roots, 1); err == nil {
+		t.Fatal("corrupted journal entry not detected")
+	}
+	if st := j.StatsSnapshot(); st.ReplayErrors != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Nothing applied: the snapshot is untouched and the ring intact, so
+	// undoing the corruption makes the retry succeed (the switch's
+	// rollback-and-retry path).
+	if err := v.FT.Equal(before); err != nil {
+		t.Fatalf("failed replay modified the frame table: %v", err)
+	}
+	undo()
+	if err := v.JournalReattach(c, d, roots, 1); err != nil {
+		t.Fatalf("retry after undo: %v", err)
+	}
+	if st := j.StatsSnapshot(); st.Replays != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	replayed := v.FT.Clone()
+	if err := canonical(t, v, d, c, roots).Equal(replayed); err != nil {
+		t.Fatalf("retried replay diverges: %v", err)
+	}
+}
+
+// The perf claim behind the policy: re-attach by replay at ~10% dirty
+// must beat the full recompute by at least 5x.
+func TestJournalReattachBeatsRecompute(t *testing.T) {
+	v, d, c := testVMM(t)
+	j := v.EnableJournal(0)
+	tb, data := buildTree(t, v, d, 64)
+	roots := []hw.PFN{tb.Root}
+
+	before := c.Now()
+	if err := v.RecomputeFrameInfo(c, d, roots); err != nil {
+		t.Fatal(err)
+	}
+	fullAttach := c.Now() - before
+
+	v.JournalDetach(c, d)
+	for i := 0; i < 6; i++ { // ~10% of the 64 mapped pages
+		s, _ := tb.ExistingSlot(hw.VirtAddr(0x0800_0000 + i<<hw.PageShift))
+		journalWrite(v, j, s.Table, s.Index, hw.MakePTE(data[i], hw.PTEPresent|hw.PTEUser))
+	}
+	before = c.Now()
+	if err := v.JournalReattach(c, d, roots, 1); err != nil {
+		t.Fatal(err)
+	}
+	replayAttach := c.Now() - before
+	if replayAttach*5 > fullAttach {
+		t.Fatalf("replay attach %d cycles vs full %d: less than 5x win", replayAttach, fullAttach)
+	}
+}
+
+func TestJournalCheckConsistent(t *testing.T) {
+	v, _, _ := testVMM(t)
+	j := v.EnableJournal(4)
+	if err := j.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	j.Arm()
+	if err := j.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	j.snapshot = false // recording without a snapshot is inconsistent
+	if err := j.CheckConsistent(); err == nil {
+		t.Fatal("inconsistent journal state not reported")
+	}
+}

@@ -215,7 +215,7 @@ func (v *VMM) unpinTable(c *hw.CPU, d *Domain, root hw.PFN, charge bool) error {
 }
 
 func (v *VMM) markPinned(root hw.PFN, on bool) {
-	v.FT.info[root].Pinned = on
+	v.FT.setPinned(root, on)
 }
 
 // applyUpdate validates and applies one entry store (internal).
@@ -403,6 +403,11 @@ func (v *VMM) MirrorUnpinRoot(c *hw.CPU, d *Domain, root hw.PFN) error {
 func (v *VMM) RecomputeFrameInfo(c *hw.CPU, d *Domain, roots []hw.PFN) error {
 	v.lockMMU(c)
 	defer v.unlockMMU()
+	return v.recomputeLocked(c, d, roots)
+}
+
+// recomputeLocked is the serial pin loop; the caller holds the MMU lock.
+func (v *VMM) recomputeLocked(c *hw.CPU, d *Domain, roots []hw.PFN) error {
 	var pinned []hw.PFN
 	for _, r := range roots {
 		if err := v.pinTable(c, d, r, true); err != nil {

@@ -65,6 +65,10 @@ type VMM struct {
 	// error (fault injection: a hypercall that fails mid-switch).
 	injectPinFails atomic.Int32
 
+	// journal is the dirty-frame journal (nil unless Mercury selects the
+	// journal tracking policy; see journal.go).
+	journal *DirtyJournal
+
 	nextDomID  DomID
 	consoleLog []string
 
@@ -130,6 +134,10 @@ type VMMStats struct {
 	FaultsHandled atomic.Uint64
 	Activations   atomic.Uint64
 	Deactivations atomic.Uint64
+
+	// RecomputeFallbacks counts parallel recomputes that detected a
+	// cross-shard conflict and redid the walk serially.
+	RecomputeFallbacks atomic.Uint64
 }
 
 // ReservedFrames is the pre-cached VMM's footprint: 16 MB worth of
