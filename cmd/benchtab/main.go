@@ -30,7 +30,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, all")
+		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
 	seed := flag.Int64("seed", 42, "chaos campaign seed")
 	episodes := flag.Int("episodes", 16, "chaos campaign episodes")
@@ -42,11 +42,13 @@ func main() {
 		"write machine-readable results: BENCH_switch.json (switchscale), BENCH_table1/2.json, BENCH_fig3/4.json")
 	jsonDir := flag.String("jsondir", ".", "directory for -json result files")
 	baseline := flag.String("baseline", "",
-		"committed BENCH_baseline.json to diff the switchscale sweep against (exit 1 on breach)")
+		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate")
 	tolerance := flag.Float64("tolerance", 25,
 		"allowed per-point cycle deviation vs -baseline, percent")
 	policyName := flag.String("policy", "recompute",
 		"tracking policy for switch/chaos experiments: recompute, active, journal")
+	migrateFaults := flag.Bool("migrate", false,
+		"chaos experiment: add a standby node and the migration fault classes to the campaign")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -267,9 +269,47 @@ func main() {
 		bench.WriteAddrSpaceAblation(os.Stdout, r)
 		fmt.Println()
 	}
+	if run("migrate") {
+		any = true
+		// Load the committed baseline before writing the fresh sweep:
+		// with -json both use the BENCH_migrate.json name, and a
+		// compare against a just-overwritten file would always pass.
+		var migBase *bench.MigrateBaseline
+		if *baseline != "" && strings.EqualFold(*exp, "migrate") {
+			b, err := bench.LoadMigrateBaseline(*baseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			migBase = b
+		}
+		pts, err := bench.MigrateSweep(bench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteMigrateSweep(os.Stdout, pts)
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, "BENCH_migrate.json")
+			if err := bench.WriteMigrateBaseline(path, pts); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if migBase != nil {
+			violations := bench.CompareMigrateBaseline(migBase, pts, *tolerance)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "baseline breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s held within %.0f%% on all %d points\n",
+				*baseline, *tolerance, len(pts))
+		}
+		fmt.Println()
+	}
 	if run("chaos") {
 		any = true
-		opt := bench.Options{Policy: policy}
+		opt := bench.Options{Policy: policy, MigrateFaults: *migrateFaults}
 		var col *obs.Collector
 		if *metrics {
 			col = obs.New(1)

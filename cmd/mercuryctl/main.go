@@ -41,6 +41,8 @@ func main() {
 	out := subFlags.String("o", "trace.json", "output file for the trace subcommand")
 	seed := subFlags.Int64("seed", 42, "chaos campaign seed")
 	episodes := subFlags.Int("episodes", 16, "chaos campaign episodes")
+	migrateFaults := subFlags.Bool("migrate", false,
+		"chaos: add a standby node and the migration fault classes")
 	if sub != "" {
 		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
@@ -55,7 +57,7 @@ func main() {
 	if sub == "chaos" {
 		// The campaign builds its own system: a small deferral budget
 		// keeps starved-switch episodes to a few simulated ticks.
-		chaosCmd(pol, *ncpu, *seed, *episodes)
+		chaosCmd(pol, *ncpu, *seed, *episodes, *migrateFaults)
 		return
 	}
 	var col *obs.Collector
@@ -144,7 +146,7 @@ func traceCmd(mc *core.Mercury, col *obs.Collector, out string) {
 // chaosCmd runs the seeded fault-injection campaign and prints the
 // episode table plus the dependability summary. Same seed, same
 // machine: same episodes.
-func chaosCmd(pol core.TrackingPolicy, ncpu int, seed int64, episodes int) {
+func chaosCmd(pol core.TrackingPolicy, ncpu int, seed int64, episodes int, migrateFaults bool) {
 	col := obs.New(ncpu)
 	cfg := hw.DefaultConfig()
 	cfg.NumCPUs = ncpu
@@ -156,6 +158,11 @@ func chaosCmd(pol core.TrackingPolicy, ncpu int, seed int64, episodes int) {
 	ccfg := chaos.DefaultConfig(seed)
 	if episodes > 0 {
 		ccfg.Episodes = episodes
+	}
+	if migrateFaults {
+		sb, err := chaos.NewStandby(machine)
+		must(err)
+		ccfg.Standby = sb
 	}
 	rep, err := chaos.Run(mc, ccfg)
 	must(err)

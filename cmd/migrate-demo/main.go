@@ -18,6 +18,8 @@ func main() {
 	pages := flag.Int("pages", 1024, "live pages in the migrating guest")
 	dirtyRate := flag.Int("dirty", 40, "pages dirtied per pre-copy round")
 	rounds := flag.Int("max-rounds", 8, "pre-copy round limit")
+	sloUS := flag.Float64("slo-us", 0,
+		"downtime SLO in microseconds (0 = threshold-only pre-copy)")
 	flag.Parse()
 
 	machA := hw.NewMachine(hw.Config{Name: "A", MemBytes: 256 << 20, NumCPUs: 1})
@@ -56,6 +58,7 @@ func main() {
 
 	cfg := migrate.DefaultLiveConfig()
 	cfg.MaxRounds = *rounds
+	cfg.DowntimeSLOCyc = hw.Cycles(*sloUS / 1e6 * float64(machA.Hz))
 	cfg.Mutator = func(round int) {
 		for i := 0; i < *dirtyRate; i++ {
 			pfn := lo + hw.PFN((round*97+i*13)%*pages)
@@ -67,15 +70,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("migrated %q: %d pages total\n", moved.Name, rep.TotalPages)
-	fmt.Printf("%-8s %s\n", "round", "pages sent")
+	fmt.Printf("migrated %q: %d pages total, verified=%v\n",
+		moved.Name, rep.TotalPages, rep.Verified)
+	fmt.Printf("%-8s %-6s %s\n", "round", "pages", "decision")
 	for _, r := range rep.Rounds {
 		bar := ""
 		for i := 0; i < r.Pages/16; i++ {
 			bar += "#"
 		}
-		fmt.Printf("%-8d %-6d %s\n", r.Round, r.Pages, bar)
+		fmt.Printf("%-8d %-6d %-14s %s\n", r.Round, r.Pages, r.Decision, bar)
 	}
+	fmt.Printf("stop reason: %s\n", rep.StopReason)
 	fmt.Printf("downtime: %.1f us   total: %.2f ms\n",
 		rep.DowntimeUSec, rep.TotalUSec/1000)
 

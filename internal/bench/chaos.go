@@ -53,6 +53,13 @@ func ChaosCampaign(seed int64, episodes int, opt Options) (ChaosResult, error) {
 		if episodes > 0 {
 			ccfg.Episodes = episodes
 		}
+		if opt.MigrateFaults {
+			sb, err := chaos.NewStandby(m)
+			if err != nil {
+				return res, err
+			}
+			ccfg.Standby = sb
+		}
 		rep, err := chaos.Run(mc, ccfg)
 		if err != nil {
 			return res, fmt.Errorf("bench: chaos campaign (%d cpus): %w", ncpu, err)

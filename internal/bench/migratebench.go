@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/xen"
+)
+
+// MigratePoint is one cell of the §6.3 downtime/total-time sweep: a
+// guest of Pages live pages dirtying DirtyPerRound pages per pre-copy
+// round, migrated under a downtime SLO (0 = the fixed threshold-only
+// policy).
+type MigratePoint struct {
+	Pages         int     `json:"pages"`
+	DirtyPerRound int     `json:"dirty_per_round"`
+	SLOUs         float64 `json:"slo_us"` // 0: no SLO (threshold/max-rounds only)
+
+	Rounds      int    `json:"rounds"` // pre-copy rounds incl. round 0
+	PagesSent   int    `json:"pages_sent"`
+	DowntimeCyc uint64 `json:"downtime_cyc"`
+	TotalCyc    uint64 `json:"total_cyc"`
+
+	DowntimeUS float64 `json:"downtime_us"`
+	TotalUS    float64 `json:"total_us"`
+	StopReason string  `json:"stop_reason"`
+	Verified   bool    `json:"verified"`
+}
+
+// The swept grid: guest sizes x dirty rates x downtime SLOs.
+var (
+	MigratePages  = []int{512, 2048}
+	MigrateDirty  = []int{8, 64, 256}
+	MigrateSLOsUS = []float64{0, 300, 3000}
+)
+
+// MigrateSweep runs the live-migration grid. Every migration must
+// verify (the commit point rejects divergent images), so the sweep
+// doubles as an end-to-end correctness pass; the simulation is
+// deterministic, which is what makes the committed baseline meaningful.
+func MigrateSweep(opt Options) ([]MigratePoint, error) {
+	opt.fill()
+	var pts []MigratePoint
+	for _, pages := range MigratePages {
+		for _, dirty := range MigrateDirty {
+			for _, slo := range MigrateSLOsUS {
+				pt, err := migratePoint(pages, dirty, slo)
+				if err != nil {
+					return nil, fmt.Errorf("bench: migrate %dpg/%ddirty/slo=%.0fus: %w",
+						pages, dirty, slo, err)
+				}
+				pts = append(pts, pt)
+			}
+		}
+	}
+	return pts, nil
+}
+
+// migratePoint builds a fresh source and destination machine pair,
+// migrates one guest between them, and records the trajectory.
+func migratePoint(pages, dirtyPerRound int, sloUS float64) (MigratePoint, error) {
+	pt := MigratePoint{Pages: pages, DirtyPerRound: dirtyPerRound, SLOUs: sloUS}
+
+	mA := hw.NewMachine(hw.Config{Name: "mig-src", MemBytes: 64 << 20, NumCPUs: 1})
+	vA, err := xen.Boot(mA)
+	if err != nil {
+		return pt, err
+	}
+	cA := mA.BootCPU()
+	vA.Activate(cA)
+	dom0A, err := vA.CreateDomain("dom0", 512, true)
+	if err != nil {
+		return pt, err
+	}
+	vA.SetCurrent(cA, dom0A)
+	guest, err := vA.CreateDomain("job", hw.PFN(pages)+16, false)
+	if err != nil {
+		return pt, err
+	}
+	lo, _ := guest.Frames.Range()
+	for i := 0; i < pages; i++ {
+		mA.Mem.WriteWord((lo + hw.PFN(i)).Addr(), uint32(0xBE000000)|uint32(i))
+	}
+
+	mB := hw.NewMachine(hw.Config{Name: "mig-dst", MemBytes: 64 << 20, NumCPUs: 1})
+	vB, err := xen.Boot(mB)
+	if err != nil {
+		return pt, err
+	}
+	cB := mB.BootCPU()
+	vB.Activate(cB)
+	dom0B, err := vB.CreateDomain("dom0", 512, true)
+	if err != nil {
+		return pt, err
+	}
+	vB.SetCurrent(cB, dom0B)
+	hw.Wire(mA.NIC, mB.NIC, hw.Gigabit())
+
+	cfg := migrate.DefaultLiveConfig()
+	cfg.DowntimeSLOCyc = hw.Cycles(sloUS / 1e6 * float64(mA.Hz))
+	cfg.Mutator = func(round int) {
+		for i := 0; i < dirtyPerRound; i++ {
+			pfn := lo + hw.PFN((round*97+i*13)%pages)
+			mA.Mem.WriteWord(pfn.Addr()+4, uint32(round*1000+i))
+		}
+	}
+	_, rep, err := migrate.Live(cA, vA, dom0A, guest, vB, dom0B, cfg)
+	if err != nil {
+		return pt, err
+	}
+	pt.Rounds = len(rep.Rounds) - 1 // the last entry is stop-and-copy
+	pt.PagesSent = rep.TotalPages
+	pt.DowntimeCyc = uint64(rep.DowntimeCyc)
+	pt.TotalCyc = uint64(rep.TotalCyc)
+	pt.DowntimeUS = rep.DowntimeUSec
+	pt.TotalUS = rep.TotalUSec
+	pt.StopReason = rep.StopReason
+	pt.Verified = rep.Verified
+	return pt, nil
+}
+
+// WriteMigrateSweep renders the sweep as a table.
+func WriteMigrateSweep(w io.Writer, pts []MigratePoint) {
+	fmt.Fprintf(w, "Live-migration downtime vs dirty rate (verified pre-copy, Gigabit link)\n")
+	fmt.Fprintf(w, "%7s %7s %9s %7s %7s %12s %10s %-10s %s\n",
+		"pages", "dirty/r", "slo(us)", "rounds", "sent", "downtime(us)", "total(us)", "stop", "verified")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%7d %7d %9.0f %7d %7d %12.1f %10.1f %-10s %v\n",
+			pt.Pages, pt.DirtyPerRound, pt.SLOUs, pt.Rounds, pt.PagesSent,
+			pt.DowntimeUS, pt.TotalUS, pt.StopReason, pt.Verified)
+	}
+}
+
+// MigrateBaselineSchema versions the committed migration baseline.
+const MigrateBaselineSchema = "mercury-bench/migrate/v1"
+
+// MigrateBaseline is the serialized sweep: committed at the repo root
+// as BENCH_migrate.json and diffed in CI like the switch baseline.
+type MigrateBaseline struct {
+	Schema string         `json:"schema"`
+	Sweep  []MigratePoint `json:"sweep"`
+}
+
+// WriteMigrateBaseline writes the sweep to path as indented JSON.
+func WriteMigrateBaseline(path string, pts []MigratePoint) error {
+	b := MigrateBaseline{Schema: MigrateBaselineSchema, Sweep: pts}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding migrate baseline: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing migrate baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadMigrateBaseline reads a committed migration baseline.
+func LoadMigrateBaseline(path string) (*MigrateBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading migrate baseline: %w", err)
+	}
+	var b MigrateBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: decoding migrate baseline %s: %w", path, err)
+	}
+	if b.Schema != MigrateBaselineSchema {
+		return nil, fmt.Errorf("bench: migrate baseline %s has schema %q, want %q",
+			path, b.Schema, MigrateBaselineSchema)
+	}
+	return &b, nil
+}
+
+// CompareMigrateBaseline diffs a fresh sweep against the committed
+// baseline. Points match by (pages, dirty_per_round, slo_us); the cycle
+// fields may drift by tolerancePct, while rounds, pages sent, the stop
+// reason, and the verification verdict must match exactly (they are
+// algorithmic, not cost-model, outcomes). Returns one violation per
+// breach; empty means the trajectory held.
+func CompareMigrateBaseline(base *MigrateBaseline, fresh []MigratePoint, tolerancePct float64) []string {
+	type key struct {
+		pages int
+		dirty int
+		slo   float64
+	}
+	idx := make(map[key]MigratePoint, len(base.Sweep))
+	for _, pt := range base.Sweep {
+		idx[key{pt.Pages, pt.DirtyPerRound, pt.SLOUs}] = pt
+	}
+
+	var violations []string
+	name := func(k key) string {
+		return fmt.Sprintf("%dpg/%ddirty/slo=%.0fus", k.pages, k.dirty, k.slo)
+	}
+	cycles := func(k key, field string, want, got uint64) {
+		if want == 0 {
+			if got != 0 {
+				violations = append(violations,
+					fmt.Sprintf("%s %s: baseline 0, measured %d", name(k), field, got))
+			}
+			return
+		}
+		dev := (float64(got) - float64(want)) / float64(want) * 100
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > tolerancePct {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: baseline %d, measured %d (%.1f%% > %.1f%% tolerance)",
+					name(k), field, want, got, dev, tolerancePct))
+		}
+	}
+	exact := func(k key, field string, want, got any) {
+		if want != got {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: baseline %v, measured %v", name(k), field, want, got))
+		}
+	}
+	seen := make(map[key]bool, len(fresh))
+	for _, pt := range fresh {
+		k := key{pt.Pages, pt.DirtyPerRound, pt.SLOUs}
+		seen[k] = true
+		want, ok := idx[k]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: not in baseline", name(k)))
+			continue
+		}
+		cycles(k, "downtime_cyc", want.DowntimeCyc, pt.DowntimeCyc)
+		cycles(k, "total_cyc", want.TotalCyc, pt.TotalCyc)
+		exact(k, "rounds", want.Rounds, pt.Rounds)
+		exact(k, "pages_sent", want.PagesSent, pt.PagesSent)
+		exact(k, "stop_reason", want.StopReason, pt.StopReason)
+		exact(k, "verified", want.Verified, pt.Verified)
+	}
+	for k := range idx {
+		if !seen[k] {
+			violations = append(violations,
+				fmt.Sprintf("%s: in baseline but not measured", name(k)))
+		}
+	}
+	return violations
+}

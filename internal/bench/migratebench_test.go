@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestMigrateSweepVerifiedAndDeterministic(t *testing.T) {
+	pts, err := MigrateSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(MigratePages) * len(MigrateDirty) * len(MigrateSLOsUS)
+	if len(pts) != want {
+		t.Fatalf("sweep has %d points, want %d", len(pts), want)
+	}
+	for _, pt := range pts {
+		if !pt.Verified {
+			t.Fatalf("point %dpg/%ddirty/slo=%.0fus migrated unverified",
+				pt.Pages, pt.DirtyPerRound, pt.SLOUs)
+		}
+		if pt.PagesSent < pt.Pages {
+			t.Fatalf("point %dpg sent only %d pages", pt.Pages, pt.PagesSent)
+		}
+		if pt.Rounds < 1 {
+			t.Fatalf("point %dpg/%ddirty reports %d pre-copy rounds", pt.Pages, pt.DirtyPerRound, pt.Rounds)
+		}
+		if pt.StopReason == "" {
+			t.Fatal("missing stop reason")
+		}
+		if pt.DowntimeCyc == 0 || pt.TotalCyc < pt.DowntimeCyc {
+			t.Fatalf("implausible timing: downtime=%d total=%d", pt.DowntimeCyc, pt.TotalCyc)
+		}
+	}
+
+	// The simulation is deterministic — that is what makes the committed
+	// baseline meaningful.
+	pts2, err := MigrateSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, pts2) {
+		t.Fatal("two sweeps diverge")
+	}
+}
+
+func TestMigrateBaselineRoundTripAndCompare(t *testing.T) {
+	pts := []MigratePoint{
+		{Pages: 512, DirtyPerRound: 8, SLOUs: 0, Rounds: 2, PagesSent: 520,
+			DowntimeCyc: 1000, TotalCyc: 5000, StopReason: "threshold", Verified: true},
+		{Pages: 512, DirtyPerRound: 64, SLOUs: 300, Rounds: 3, PagesSent: 700,
+			DowntimeCyc: 2000, TotalCyc: 9000, StopReason: "slo", Verified: true},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_migrate.json")
+	if err := WriteMigrateBaseline(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadMigrateBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Schema != MigrateBaselineSchema || !reflect.DeepEqual(base.Sweep, pts) {
+		t.Fatalf("round trip mangled the baseline: %+v", base)
+	}
+
+	if v := CompareMigrateBaseline(base, pts, 25); len(v) != 0 {
+		t.Fatalf("identical sweep violates baseline: %v", v)
+	}
+
+	// Cycle drift within tolerance passes; beyond it breaches.
+	drift := make([]MigratePoint, len(pts))
+	copy(drift, pts)
+	drift[0].DowntimeCyc = 1100 // +10%
+	if v := CompareMigrateBaseline(base, drift, 25); len(v) != 0 {
+		t.Fatalf("10%% drift breached a 25%% tolerance: %v", v)
+	}
+	drift[0].DowntimeCyc = 2000 // +100%
+	if v := CompareMigrateBaseline(base, drift, 25); len(v) != 1 {
+		t.Fatalf("100%% drift: got %d violations, want 1: %v", len(v), v)
+	}
+
+	// Algorithmic fields match exactly — a changed stop reason is a
+	// behaviour change, not noise.
+	algo := make([]MigratePoint, len(pts))
+	copy(algo, pts)
+	algo[1].StopReason = "diverging"
+	algo[1].Verified = false
+	if v := CompareMigrateBaseline(base, algo, 25); len(v) != 2 {
+		t.Fatalf("algorithmic drift: got %d violations, want 2: %v", len(v), v)
+	}
+
+	// Missing and extra points are both violations.
+	if v := CompareMigrateBaseline(base, pts[:1], 25); len(v) != 1 {
+		t.Fatalf("missing point: got %v", v)
+	}
+	extra := append(append([]MigratePoint{}, pts...), MigratePoint{
+		Pages: 9999, DirtyPerRound: 1, SLOUs: 0})
+	if v := CompareMigrateBaseline(base, extra, 25); len(v) != 1 {
+		t.Fatalf("extra point: got %v", v)
+	}
+}

@@ -142,6 +142,11 @@ func Run(mc *core.Mercury, cfg Config) (*Report, error) {
 	faults := cfg.Faults
 	if len(faults) == 0 {
 		faults = Catalog(mc)
+		if cfg.Standby != nil {
+			// With a migration target available the campaign also
+			// attacks the §6.3 maintenance pipeline.
+			faults = append(faults, MigrationFaults()...)
+		}
 	}
 	rep := &Report{Seed: cfg.Seed}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -154,7 +159,7 @@ func Run(mc *core.Mercury, cfg Config) (*Report, error) {
 		// Populate some page tables so guest-layer faults have victims.
 		base := p.Mmap(8, guest.ProtRead|guest.ProtWrite, true)
 		p.Touch(base, 8, true)
-		ctx := &Ctx{MC: mc, P: p, Rand: rng}
+		ctx := &Ctx{MC: mc, P: p, Rand: rng, Migrate: &migrate.FaultInjection{}}
 		for i := 0; i < cfg.Episodes; i++ {
 			ep, err := runEpisode(ctx, cfg, faults, rep, tel, i)
 			rep.Episodes = append(rep.Episodes, ep)
@@ -240,6 +245,8 @@ func runEpisode(ctx *Ctx, cfg Config, faults []*Fault, rep *Report, tel *chaosOb
 		derr = detectSensor(ctx, cfg, &ep, act)
 	case DetectSwitch:
 		derr = detectSwitch(ctx, &ep, act)
+	case DetectTxn:
+		derr = detectTxn(ctx, cfg, &ep, act)
 	default:
 		derr = fmt.Errorf("unknown detector %q", f.Detector)
 	}

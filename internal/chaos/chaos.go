@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guest"
 	"repro/internal/hw"
+	"repro/internal/migrate"
 	"repro/internal/xen"
 )
 
@@ -49,16 +50,22 @@ const (
 	DetectInvariant Detector = "invariant"
 	DetectSensor    Detector = "sensor"
 	DetectSwitch    Detector = "switch-validation"
+	// DetectTxn: the migration transaction (§6.3) rejects the fault —
+	// the live migration aborts, every journaled side effect rolls
+	// back, and a retry commits once the fault is removed.
+	DetectTxn Detector = "txn-rollback"
 )
 
 // Ctx is the environment an injector runs in: the system under test,
 // the driver process (whose address space guest faults target), the
-// CPU it runs on, and the campaign's seeded random source.
+// CPU it runs on, the campaign's seeded random source, and the armed
+// migration fault injection (hardware-layer copy/link faults).
 type Ctx struct {
-	MC   *core.Mercury
-	P    *guest.Proc
-	C    *hw.CPU
-	Rand *rand.Rand
+	MC      *core.Mercury
+	P       *guest.Proc
+	C       *hw.CPU
+	Rand    *rand.Rand
+	Migrate *migrate.FaultInjection
 }
 
 // Active is one injected fault: how to remove it, and — for sensor-

@@ -132,11 +132,16 @@ func RunqueueSensor() Sensor {
 }
 
 // RunqueueRepair drops invalid entries from the scheduler's run queue.
+// Removing nothing is only a failure if the queue is still corrupt —
+// an earlier sensor's repair may already have fixed it, and a repair
+// that leaves a healthy queue healthy has succeeded.
 func RunqueueRepair() Repair {
 	return func(c *hw.CPU, mc *Mercury) error {
-		n := mc.K.RepairRunqueue(c)
-		if n == 0 {
-			return fmt.Errorf("core: nothing to repair")
+		if n := mc.K.RepairRunqueue(c); n > 0 {
+			return nil
+		}
+		if err := mc.K.CheckRunqueue(); err != nil {
+			return fmt.Errorf("core: nothing to repair but queue still corrupt: %w", err)
 		}
 		return nil
 	}

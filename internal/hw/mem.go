@@ -86,6 +86,10 @@ func (m *PhysMem) DisableDirtyLog() {
 	m.dirtyMu.Unlock()
 }
 
+// DirtyLogEnabled reports whether writes are currently being recorded —
+// migration rollback asserts the log was disarmed.
+func (m *PhysMem) DirtyLogEnabled() bool { return m.dirtyOn.Load() }
+
 // CollectDirty returns and clears the set of frames written since the
 // last collection. Nil if logging is off.
 func (m *PhysMem) CollectDirty() []PFN {

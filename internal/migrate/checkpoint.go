@@ -64,7 +64,10 @@ func Checkpoint(c *hw.CPU, v *xen.VMM, caller, d *xen.Domain) (*DomainImage, err
 	}
 	img := snapshot(c, v, d)
 	if err := v.HypDomctlUnpause(c, caller, d.ID); err != nil {
-		return nil, err
+		// The snapshot is complete and consistent — discarding it would
+		// throw away the very state a failing system needs. Return it
+		// alongside the resume failure so the caller can restore.
+		return img, fmt.Errorf("migrate: checkpoint complete but resume failed: %w", err)
 	}
 	return img, nil
 }
@@ -101,8 +104,14 @@ func snapshot(c *hw.CPU, v *xen.VMM, d *xen.Domain) *DomainImage {
 // dst. The target partition must be at least as large as the source's.
 // When the partitions start at different frame numbers, every page-table
 // entry and the CR3 are relocated by the frame delta — the
-// canonicalization step of real migration.
+// canonicalization step of real migration. The restored page-table
+// roots are validated and re-pinned under dst's frame accounting before
+// the domain resumes; if pinning fails the laid-down image is scrubbed
+// again and the target left paused, so a bad image never runs.
 func Restore(c *hw.CPU, dst *xen.VMM, caller, into *xen.Domain, img *DomainImage) error {
+	if !dst.Active {
+		return fmt.Errorf("migrate: restore requires an active VMM")
+	}
 	lo, hi := into.Frames.Range()
 	if hi-lo < img.Hi-img.Lo {
 		return fmt.Errorf("migrate: target partition %d frames < source %d",
@@ -111,6 +120,13 @@ func Restore(c *hw.CPU, dst *xen.VMM, caller, into *xen.Domain, img *DomainImage
 	if err := dst.HypDomctlPause(c, caller, into.ID); err != nil {
 		return err
 	}
+	txn := BeginTxn("restore " + img.Name)
+	txn.Journal("scrub-target", func() error {
+		for pfn := lo; pfn < hi; pfn++ {
+			dst.M.Mem.ZeroFrame(pfn)
+		}
+		return nil
+	})
 	delta := int64(lo) - int64(img.Lo)
 	// Clear the target range, then lay the pages down.
 	for pfn := lo; pfn < hi; pfn++ {
@@ -124,8 +140,18 @@ func Restore(c *hw.CPU, dst *xen.VMM, caller, into *xen.Domain, img *DomainImage
 	if delta != 0 {
 		relocateTables(c, dst.M.Mem, img, delta)
 	}
+	// Re-register the restored roots with the VMM: pinning validates
+	// the (relocated) trees and takes the type refs the destination
+	// needs — a restored domain must not run on unvalidated tables.
+	if err := repinRoots(c, txn, dst, into, img.PinnedRoots, delta); err != nil {
+		if rerr := txn.Rollback(); rerr != nil {
+			err = fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		return fmt.Errorf("migrate: restore aborted, target scrubbed and left paused: %w", err)
+	}
 	into.VCPU0().SetCR3(hw.PFN(int64(img.CR3) + delta))
 	into.VCPU0().SetVIF(img.VIF)
+	txn.Commit()
 	return dst.HypDomctlUnpause(c, caller, into.ID)
 }
 

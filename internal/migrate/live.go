@@ -16,11 +16,20 @@ type LiveConfig struct {
 	// StopThreshold: when a round leaves at most this many dirty pages,
 	// stop-and-copy begins.
 	StopThreshold int
+	// DowntimeSLOCyc, when nonzero, makes the pre-copy loop bandwidth-
+	// adaptive: each round estimates the downtime a stop-and-copy of
+	// the current dirty set would cost and stops early once the
+	// estimate fits the SLO — or once the dirty set has stopped
+	// shrinking, when more rounds would only burn bandwidth.
+	DowntimeSLOCyc hw.Cycles
 	// Link carries the transfer (the Gigabit migration network).
 	Link hw.LinkProps
 	// Mutator, when set, is invoked between rounds to stand in for the
 	// still-running guest dirtying memory.
 	Mutator func(round int)
+	// Inject, when set, arms hardware-layer fault injection (link
+	// stall, mid-copy abort) for dependability campaigns.
+	Inject *FaultInjection
 }
 
 // DefaultLiveConfig mirrors Clark et al.'s settings at this scale.
@@ -28,7 +37,8 @@ func DefaultLiveConfig() LiveConfig {
 	return LiveConfig{MaxRounds: 8, StopThreshold: 16, Link: hw.Gigabit()}
 }
 
-// LiveReport describes one completed live migration.
+// LiveReport describes one completed live migration (or, on error, how
+// far the aborted transaction got before rolling back).
 type LiveReport struct {
 	Rounds       []RoundReport
 	TotalPages   int
@@ -36,21 +46,48 @@ type LiveReport struct {
 	TotalCyc     hw.Cycles
 	DowntimeUSec float64
 	TotalUSec    float64
+	// Verified: the destination image was proven bit-identical (tables
+	// relocated) before the source was destroyed.
+	Verified bool
+	// StopReason is why pre-copy ended: "threshold", "slo",
+	// "diverging", or "max-rounds".
+	StopReason string
+	// RolledBack lists the journaled transaction steps that were undone
+	// when the migration aborted (empty on success).
+	RolledBack []string
 }
 
 // RoundReport is one pre-copy iteration.
 type RoundReport struct {
 	Round int
 	Pages int
+	// DirtyPages is the dirty-set size observed at the start of the
+	// round (equal to Pages for pre-copy rounds; for the final entry it
+	// is the stop-and-copy remainder).
+	DirtyPages int
+	// EstDowntimeCyc is the bandwidth-model estimate of what stopping
+	// here would cost (0 for round 0).
+	EstDowntimeCyc hw.Cycles
+	// Decision is what the adaptive loop chose after this round:
+	// "continue" or "stop-and-copy".
+	Decision string
 }
 
 // Live migrates domain d from src to a fresh domain on dst using
 // iterative pre-copy: round 0 transfers all touched memory while the
 // guest keeps running (and dirtying pages, via cfg.Mutator); subsequent
 // rounds transfer only what was dirtied; when the dirty set is small
-// enough the domain pauses, the remainder and vcpu state move, and the
-// domain resumes on the destination (§6.3: online maintenance migrates
-// the execution environment to another machine).
+// enough — or, with a downtime SLO configured, as soon as the estimated
+// stop-and-copy cost fits it — the domain pauses, the remainder and
+// vcpu state move, the destination image is verified against the source
+// and its page-table roots re-pinned, and only then is the source
+// destroyed and the domain resumed on the destination (§6.3: online
+// maintenance migrates the execution environment to another machine).
+//
+// Every side effect is journaled in a migration transaction: on any
+// failure the destination domain is destroyed and scrubbed, the source
+// unpaused, and the dirty log disarmed, so an aborted migration leaves
+// both machines exactly as they were.
 func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 	dst *xen.VMM, dstCaller *xen.Domain, cfg LiveConfig) (*xen.Domain, *LiveReport, error) {
 
@@ -60,57 +97,118 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 	if cfg.Link.BandwidthBps == 0 {
 		cfg.Link = hw.Gigabit()
 	}
-	lo, hi := d.Frames.Range()
-	into, err := dst.CreateDomain(d.Name+"-migrated", hi-lo, d.Privileged)
-	if err != nil {
-		return nil, nil, fmt.Errorf("migrate: allocating target domain: %w", err)
+	if !src.Active {
+		return nil, nil, fmt.Errorf("migrate: live migration requires an active source VMM")
 	}
+	if !dst.Active {
+		return nil, nil, fmt.Errorf("migrate: live migration requires an active destination VMM")
+	}
+	lo, hi := d.Frames.Range()
 
 	rep := &LiveReport{}
 	start := c.Now()
 	mem := src.M.Mem
-	dLo, dHi := into.Frames.Range()
-	delta := int64(dLo) - int64(lo)
 
-	// Telemetry: gauges track the pre-copy convergence, the counter
-	// totals wire traffic, and the histogram records downtimes.
+	// Telemetry: gauges track the pre-copy convergence, the counters
+	// total wire traffic and transaction outcomes, and the histogram
+	// records downtimes.
 	col := src.M.Telemetry()
 	var roundsGauge, dirtyGauge *obs.Gauge
-	var pagesSent *obs.Counter
+	var pagesSent, commits, rollbacks, verifyFails *obs.Counter
 	var downtimeCyc *obs.Histogram
 	if col != nil {
 		r := col.Registry
 		roundsGauge = r.Gauge("migrate", "precopy_rounds")
 		dirtyGauge = r.Gauge("migrate", "dirty_pages_last_round")
 		pagesSent = r.Counter("migrate", "pages_sent_total")
+		commits = r.Counter("migrate", "commits_total")
+		rollbacks = r.Counter("migrate", "rollbacks_total")
+		verifyFails = r.Counter("migrate", "verify_failures_total")
 		downtimeCyc = r.Histogram("migrate", "downtime_cycles")
 	}
 	root := obs.Begin(col, c.ID, c.Now(), "migrate/live")
 	defer func() { root.EndArg(c.Now(), uint64(rep.TotalPages)) }()
 
-	sendPages := func(pages []hw.PFN) {
-		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-		for _, pfn := range pages {
+	txn := BeginTxn("migrate " + d.Name)
+	// abort rolls the journaled side effects back and reports the
+	// failure. The rollback itself is spanned so campaigns can see its
+	// cost; undo failures are joined into the returned error.
+	abort := func(err error) (*xen.Domain, *LiveReport, error) {
+		rep.RolledBack = txn.StepNames()
+		sp := obs.Begin(col, c.ID, c.Now(), "migrate/rollback")
+		rerr := txn.Rollback()
+		sp.EndArg(c.Now(), uint64(len(rep.RolledBack)))
+		if rollbacks != nil {
+			rollbacks.Inc()
+		}
+		if rerr != nil {
+			err = fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		rep.TotalCyc = c.Now() - start
+		rep.TotalUSec = float64(rep.TotalCyc) / float64(src.M.Hz) * 1e6
+		return nil, rep, fmt.Errorf("migrate: aborted: %w", err)
+	}
+
+	into, err := dst.CreateDomain(d.Name+"-migrated", hi-lo, d.Privileged)
+	if err != nil {
+		return nil, nil, fmt.Errorf("migrate: allocating target domain: %w", err)
+	}
+	dLo, dHi := into.Frames.Range()
+	delta := int64(dLo) - int64(lo)
+	txn.Journal("create-destination", func() error {
+		return dst.DestroyDomain(into.ID)
+	})
+	// Scrub whatever partial image landed in the destination partition
+	// so an aborted migration cannot leak the guest's memory contents.
+	txn.Journal("scrub-destination", func() error {
+		for pfn := dLo; pfn < dHi; pfn++ {
+			dst.M.Mem.ZeroFrame(pfn)
+		}
+		return nil
+	})
+	// The destination stays paused until the transaction commits:
+	// resuming it any earlier would put two live copies in the world.
+	if err := dst.HypDomctlPause(c, dstCaller, into.ID); err != nil {
+		return abort(fmt.Errorf("pausing destination: %w", err))
+	}
+
+	// perPageCyc models the per-page stop-and-copy cost (memcpy, the
+	// network stack's share, wire serialization) for the downtime
+	// estimator; verifyCyc the fixed verification pass over the
+	// partition that also runs inside the downtime window.
+	wireCyc := hw.Cycles(uint64(hw.PageSize) * 8 * src.M.Hz / cfg.Link.BandwidthBps)
+	perPageCyc := src.M.Costs.PageCopy + src.M.Costs.NetStackTx/4 + wireCyc
+	verifyCyc := hw.Cycles(hi-lo) * (src.M.Costs.PageCopy / 4)
+
+	sendPages := func(round int, pages []hw.PFN) error {
+		sorted := make([]hw.PFN, len(pages))
+		copy(sorted, pages)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, pfn := range sorted {
+			if err := cfg.Inject.copyFault(round); err != nil {
+				return err
+			}
 			tgt := hw.PFN(int64(pfn) + delta)
 			copy(dst.M.Mem.FrameBytes(tgt), mem.FrameBytesRO(pfn))
-			c.Charge(src.M.Costs.PageCopy + src.M.Costs.NetStackTx/4)
-			// Wire serialization dominates elapsed time.
-			c.Charge(hw.Cycles(uint64(hw.PageSize) * 8 * src.M.Hz / cfg.Link.BandwidthBps))
+			c.Charge(perPageCyc)
+			rep.TotalPages++
+			if pagesSent != nil {
+				pagesSent.Inc()
+			}
 		}
-		rep.TotalPages += len(pages)
-		if pagesSent != nil {
-			pagesSent.Add(uint64(len(pages)))
-		}
+		return nil
 	}
 
 	// Round 0: everything touched so far, with the dirty log armed so
 	// concurrent writes are caught next round.
 	mem.EnableDirtyLog()
-	defer mem.DisableDirtyLog()
+	txn.Journal("arm-dirty-log", func() error {
+		mem.DisableDirtyLog()
+		return nil
+	})
 	var first []hw.PFN
-	zero := make([]byte, hw.PageSize)
 	for pfn := lo; pfn < hi; pfn++ {
-		if !bytesEqualZero(mem.FrameBytesRO(pfn), zero) {
+		if !bytesEqualZero(mem.FrameBytesRO(pfn)) {
 			first = append(first, pfn)
 		}
 	}
@@ -119,19 +217,27 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 		cfg.Mutator(0)
 	}
 	sp := obs.Begin(col, c.ID, c.Now(), "migrate/round")
-	sendPages(first)
+	err = sendPages(0, first)
 	sp.EndArg(c.Now(), uint64(len(first)))
-	rep.Rounds = append(rep.Rounds, RoundReport{Round: 0, Pages: len(first)})
+	if err != nil {
+		return abort(fmt.Errorf("round 0: %w", err))
+	}
+	rep.Rounds = append(rep.Rounds, RoundReport{
+		Round: 0, Pages: len(first), DirtyPages: len(first), Decision: "continue"})
 	if roundsGauge != nil {
 		roundsGauge.Set(1)
 	}
 
-	// Iterative rounds.
+	// Iterative rounds: each collects the dirty set, estimates what
+	// stopping now would cost, and either stops or copies another round.
 	stopThreshold := cfg.StopThreshold
 	if stopThreshold == 0 {
 		stopThreshold = 16
 	}
 	var dirty []hw.PFN
+	prevDirty := 0
+	stopRound := cfg.MaxRounds + 1
+	rep.StopReason = "max-rounds"
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		if cfg.Mutator != nil {
 			cfg.Mutator(round)
@@ -140,27 +246,52 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 		if dirtyGauge != nil {
 			dirtyGauge.Set(int64(len(dirty)))
 		}
-		if len(dirty) <= stopThreshold {
+		est := hw.Cycles(len(dirty))*perPageCyc + verifyCyc
+		stop := ""
+		switch {
+		case len(dirty) <= stopThreshold:
+			stop = "threshold"
+		case cfg.DowntimeSLOCyc > 0 && est <= cfg.DowntimeSLOCyc:
+			stop = "slo"
+		case cfg.DowntimeSLOCyc > 0 && prevDirty > 0 && len(dirty) >= prevDirty:
+			// The writable working set is not shrinking: more rounds
+			// will never meet the SLO, so stop before burning more
+			// bandwidth (Clark et al.'s divergence cutoff).
+			stop = "diverging"
+		}
+		if stop != "" {
+			rep.StopReason = stop
+			stopRound = round
 			break
 		}
+		prevDirty = len(dirty)
 		sp := obs.Begin(col, c.ID, c.Now(), "migrate/round")
-		sendPages(dirty)
+		err = sendPages(round, dirty)
 		sp.EndArg(c.Now(), uint64(len(dirty)))
-		rep.Rounds = append(rep.Rounds, RoundReport{Round: round, Pages: len(dirty)})
+		if err != nil {
+			return abort(fmt.Errorf("round %d: %w", round, err))
+		}
+		rep.Rounds = append(rep.Rounds, RoundReport{
+			Round: round, Pages: len(dirty), DirtyPages: len(dirty),
+			EstDowntimeCyc: est, Decision: "continue"})
 		if roundsGauge != nil {
 			roundsGauge.Set(int64(round + 1))
 		}
 		dirty = nil
 	}
 
-	// Stop-and-copy: pause, transfer the remainder plus vcpu state,
-	// resume on the destination.
+	// Stop-and-copy: pause the source, transfer the remainder plus vcpu
+	// state, relocate and re-pin the page tables, verify, and only then
+	// commit. Everything in this window counts as downtime.
 	stopStart := c.Now()
 	stopSpan := obs.Begin(col, c.ID, stopStart, "migrate/stop-and-copy")
+	defer func() { stopSpan.End(c.Now()) }()
 	if err := src.HypDomctlPause(c, caller, d.ID); err != nil {
-		stopSpan.End(c.Now())
-		return nil, nil, err
+		return abort(fmt.Errorf("pausing source: %w", err))
 	}
+	txn.Journal("pause-source", func() error {
+		return src.HypDomctlUnpause(c, caller, d.ID)
+	})
 	final := filterRange(mem.CollectDirty(), lo, hi)
 	if len(final) == 0 {
 		final = dirty
@@ -168,21 +299,56 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 		final = append(final, dirty...)
 		final = dedup(final)
 	}
-	sendPages(final)
-	rep.Rounds = append(rep.Rounds, RoundReport{Round: len(rep.Rounds), Pages: len(final)})
+	if err := sendPages(stopRound, final); err != nil {
+		return abort(fmt.Errorf("stop-and-copy: %w", err))
+	}
+	rep.Rounds = append(rep.Rounds, RoundReport{
+		Round: stopRound, Pages: len(final), DirtyPages: len(final),
+		Decision: "stop-and-copy"})
 
 	into.VCPU0().SetCR3(hw.PFN(int64(d.VCPU0().CR3()) + delta))
 	into.VCPU0().SetVIF(d.VCPU0().VIF())
+	roots := d.PinnedRoots()
 	if delta != 0 {
-		img := &DomainImage{Lo: lo, Hi: hi, PinnedRoots: d.PinnedRoots()}
+		img := &DomainImage{Lo: lo, Hi: hi, PinnedRoots: roots}
 		relocateTables(c, dst.M.Mem, img, delta)
 	}
-	if err := src.HypDomctlDestroy(c, caller, d.ID); err != nil {
-		stopSpan.End(c.Now())
-		return nil, nil, err
+	// Re-pin the relocated roots under the destination VMM: this
+	// validates the trees against its frame accounting and takes the
+	// type refs the destination needs to police the new domain.
+	if err := repinRoots(c, txn, dst, into, roots, delta); err != nil {
+		return abort(err)
 	}
-	into.State = xen.DomRunning
-	stopSpan.EndArg(c.Now(), uint64(len(final)))
+
+	// The commit-point check (§6.3 meets "On the Impossibility of a
+	// Perfect Hypervisor"): prove the destination image matches before
+	// destroying the only other copy.
+	vsp := obs.Begin(col, c.ID, c.Now(), "migrate/verify")
+	verr := verifyDestination(c, mem, dst.M.Mem, lo, hi, delta, roots)
+	vsp.End(c.Now())
+	if verr != nil {
+		if verifyFails != nil {
+			verifyFails.Inc()
+		}
+		return abort(verr)
+	}
+	rep.Verified = true
+
+	if err := src.HypDomctlDestroy(c, caller, d.ID); err != nil {
+		return abort(fmt.Errorf("destroying source: %w", err))
+	}
+	// Commit: the source is gone, the verified destination is the
+	// system. Disarm the dirty log and resume the domain over there.
+	txn.Commit()
+	if commits != nil {
+		commits.Inc()
+	}
+	mem.DisableDirtyLog()
+	if err := dst.HypDomctlUnpause(c, dstCaller, into.ID); err != nil {
+		// Post-commit: the migration itself held, the destination just
+		// needs an operator unpause — report both facts.
+		return into, rep, fmt.Errorf("migrate: committed but resuming destination failed: %w", err)
+	}
 	rep.DowntimeCyc = c.Now() - stopStart
 	if downtimeCyc != nil {
 		downtimeCyc.Observe(rep.DowntimeCyc)
@@ -190,17 +356,15 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 	rep.TotalCyc = c.Now() - start
 	rep.DowntimeUSec = float64(rep.DowntimeCyc) / float64(src.M.Hz) * 1e6
 	rep.TotalUSec = float64(rep.TotalCyc) / float64(src.M.Hz) * 1e6
-	_ = dHi
 	return into, rep, nil
 }
 
-func bytesEqualZero(b, zero []byte) bool {
+func bytesEqualZero(b []byte) bool {
 	for i := range b {
 		if b[i] != 0 {
 			return false
 		}
 	}
-	_ = zero
 	return true
 }
 

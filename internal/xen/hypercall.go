@@ -121,6 +121,9 @@ func (v *VMM) HypDomctlDestroy(c *hw.CPU, d *Domain, id DomID) error {
 	if !d.Privileged {
 		return fmt.Errorf("xen: dom%d is not privileged for domctl", d.ID)
 	}
+	if takeInjected(&v.injectDestroyFails) {
+		return fmt.Errorf("xen: injected transient failure destroying dom%d", id)
+	}
 	return v.DestroyDomain(id)
 }
 
@@ -130,6 +133,9 @@ func (v *VMM) HypDomctlPause(c *hw.CPU, d *Domain, id DomID) error {
 	defer v.enter(c, d)()
 	if !d.Privileged {
 		return fmt.Errorf("xen: dom%d is not privileged for domctl", d.ID)
+	}
+	if takeInjected(&v.injectPauseFails) {
+		return fmt.Errorf("xen: injected transient failure pausing dom%d", id)
 	}
 	t, ok := v.Domains[id]
 	if !ok {
@@ -144,6 +150,9 @@ func (v *VMM) HypDomctlUnpause(c *hw.CPU, d *Domain, id DomID) error {
 	defer v.enter(c, d)()
 	if !d.Privileged {
 		return fmt.Errorf("xen: dom%d is not privileged for domctl", d.ID)
+	}
+	if takeInjected(&v.injectUnpauseFails) {
+		return fmt.Errorf("xen: injected transient failure unpausing dom%d", id)
 	}
 	t, ok := v.Domains[id]
 	if !ok {

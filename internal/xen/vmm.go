@@ -65,6 +65,13 @@ type VMM struct {
 	// error (fault injection: a hypercall that fails mid-switch).
 	injectPinFails atomic.Int32
 
+	// Domctl fault injection: the next N pause/unpause/destroy
+	// hypercalls fail with a transient error, so the migration
+	// transaction's rollback ladder can be exercised at every rung.
+	injectPauseFails   atomic.Int32
+	injectUnpauseFails atomic.Int32
+	injectDestroyFails atomic.Int32
+
 	// journal is the dirty-frame journal (nil unless Mercury selects the
 	// journal tracking policy; see journal.go).
 	journal *DirtyJournal
@@ -250,6 +257,33 @@ func (v *VMM) SetGate(vector int, g hw.Gate) { v.IDT.Set(vector, g) }
 // only: this is how campaigns exercise the failure-resistant switch's
 // rollback path without corrupting real state.
 func (v *VMM) InjectPinFailures(n int32) { v.injectPinFails.Store(n) }
+
+// InjectPauseFailures makes the next n HypDomctlPause calls fail with a
+// transient error; n = 0 clears any outstanding injection.
+func (v *VMM) InjectPauseFailures(n int32) { v.injectPauseFails.Store(n) }
+
+// InjectUnpauseFailures makes the next n HypDomctlUnpause calls fail
+// with a transient error; n = 0 clears any outstanding injection.
+func (v *VMM) InjectUnpauseFailures(n int32) { v.injectUnpauseFails.Store(n) }
+
+// InjectDestroyFailures makes the next n HypDomctlDestroy calls fail
+// with a transient error; n = 0 clears any outstanding injection.
+func (v *VMM) InjectDestroyFailures(n int32) { v.injectDestroyFails.Store(n) }
+
+// takeInjected consumes one pending injected failure from ctr,
+// reporting whether the calling hypercall should fail. The CAS loop
+// keeps concurrent consumers from driving the count negative.
+func takeInjected(ctr *atomic.Int32) bool {
+	for {
+		n := ctr.Load()
+		if n <= 0 {
+			return false
+		}
+		if ctr.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
 
 func (v *VMM) Activate(c *hw.CPU) {
 	v.Stats.Activations.Add(1)
