@@ -30,7 +30,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, all")
+		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, fleet, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
 	seed := flag.Int64("seed", 42, "chaos campaign seed")
 	episodes := flag.Int("episodes", 16, "chaos campaign episodes")
@@ -42,7 +42,7 @@ func main() {
 		"write machine-readable results: BENCH_switch.json (switchscale), BENCH_table1/2.json, BENCH_fig3/4.json")
 	jsonDir := flag.String("jsondir", ".", "directory for -json result files")
 	baseline := flag.String("baseline", "",
-		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate")
+		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate, BENCH_fleet.json for -exp fleet")
 	tolerance := flag.Float64("tolerance", 25,
 		"allowed per-point cycle deviation vs -baseline, percent")
 	policyName := flag.String("policy", "recompute",
@@ -269,6 +269,44 @@ func main() {
 		bench.WriteAddrSpaceAblation(os.Stdout, r)
 		fmt.Println()
 	}
+	if run("fleet") {
+		any = true
+		// Load before writing: with -json the fresh sweep overwrites
+		// the same BENCH_fleet.json name the baseline was read from.
+		var fleetBase *bench.FleetBaseline
+		if *baseline != "" && strings.EqualFold(*exp, "fleet") {
+			b, err := bench.LoadFleetBaseline(*baseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fleetBase = b
+		}
+		pts, err := bench.FleetSweep(bench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteFleetSweep(os.Stdout, pts)
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, "BENCH_fleet.json")
+			if err := bench.WriteFleetBaseline(path, pts); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if fleetBase != nil {
+			violations := bench.CompareFleetBaseline(fleetBase, pts, *tolerance)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "baseline breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s held within %.0f%% on all %d points\n",
+				*baseline, *tolerance, len(pts))
+		}
+		fmt.Println()
+	}
+
 	if run("migrate") {
 		any = true
 		// Load the committed baseline before writing the fresh sweep:

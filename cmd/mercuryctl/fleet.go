@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+type fleetOpts struct {
+	nodes      int
+	batch      int
+	arrival    int
+	deadline   int
+	maxVirtual int
+	action     string
+	load       bool
+	policy     core.TrackingPolicy
+}
+
+// fleetCmd boots a fleet of Mercury nodes, takes it through one
+// rolling-maintenance wave, and prints the per-node pipeline costs,
+// the admission outcomes, and the fleet telemetry.
+func fleetCmd(o fleetOpts) {
+	action, err := fleet.ParseAction(o.action)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := obs.New(1)
+	fc, err := fleet.New(fleet.Config{
+		Nodes: o.nodes,
+		Node: fleet.NodeConfig{
+			Policy:  o.policy,
+			Pages:   32,
+			RunLoad: o.load,
+		},
+		MaxVirtual: o.maxVirtual,
+		Standby:    action == fleet.ActionMigrate,
+		Collector:  col,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := fc.Config()
+	fmt.Printf("fleet: %d nodes, MaxVirtual=%d (tax %d%%, max capacity loss %d%%), action=%s\n",
+		cfg.Nodes, cfg.MaxVirtual, fleet.DefaultVirtualTaxPct,
+		fleet.DefaultMaxCapacityLossPct, action)
+	if o.load {
+		for _, n := range fc.Nodes {
+			fmt.Printf("  %s: dbench %.1f MB/s\n", n.Name, n.Load)
+		}
+	}
+
+	rep, err := fc.RunWave(fleet.WaveConfig{
+		Action:         action,
+		BatchSize:      o.batch,
+		ArrivalPerTick: o.arrival,
+		DeadlineTicks:  o.deadline,
+	})
+	if err != nil {
+		// The report still describes the aborted wave.
+		fmt.Fprintf(os.Stderr, "wave aborted: %v\n", err)
+	}
+	if rep == nil {
+		os.Exit(1)
+	}
+
+	us := fc.Nodes[0].M.Micros
+	fmt.Printf("\nper-node pipeline (%s wave, batch=%d):\n", rep.Action, rep.BatchSize)
+	fmt.Printf("%7s %6s %9s %9s %11s %11s %11s %6s\n",
+		"node", "batch", "enqueued", "granted", "attach(us)", "action(us)", "detach(us)", "clean")
+	for _, nr := range rep.PerNode {
+		fmt.Printf("%7d %6d %9d %9d %11.2f %11.2f %11.2f %6v\n",
+			nr.Node, nr.Batch, nr.EnqueuedAt, nr.GrantedAt,
+			us(nr.AttachCyc), us(nr.ActionCyc), us(nr.DetachCyc), nr.HealedClean)
+	}
+
+	a := rep.Admission
+	fmt.Printf("\nwave: completed=%d expired=%d canceled=%d ticks=%d aborted=%v\n",
+		rep.Completed, rep.Expired, rep.Canceled, rep.Ticks, rep.Aborted)
+	fmt.Printf("admission: submitted=%d granted=%d rejected=%d expired=%d max_in_use=%d/%d max_queue=%d\n",
+		a.Submitted, a.Granted, a.Rejected, a.Expired, a.MaxInUse,
+		cfg.MaxVirtual, a.MaxQueueDepth)
+	fmt.Printf("mean latencies: attach=%.2fus action=%.2fus detach=%.2fus\n",
+		us(rep.MeanAttachCyc), us(rep.MeanActionCyc), us(rep.MeanDetachCyc))
+
+	fmt.Printf("\nfleet telemetry:\n")
+	col.Registry.WriteProm(os.Stdout)
+	if rep.Aborted {
+		os.Exit(1)
+	}
+}

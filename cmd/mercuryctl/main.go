@@ -43,6 +43,18 @@ func main() {
 	episodes := subFlags.Int("episodes", 16, "chaos campaign episodes")
 	migrateFaults := subFlags.Bool("migrate", false,
 		"chaos: add a standby node and the migration fault classes")
+	fleetNodes := subFlags.Int("nodes", 4, "fleet: number of Mercury nodes")
+	fleetBatch := subFlags.Int("batch", 1, "fleet: nodes maintained per batch")
+	fleetArrival := subFlags.Int("arrival", 0,
+		"fleet: admission requests submitted per tick (0 = whole batch at once)")
+	fleetDeadline := subFlags.Int("deadline", 0,
+		"fleet: per-request admission deadline in ticks (0 = none)")
+	fleetMaxVirtual := subFlags.Int("maxvirtual", 0,
+		"fleet: virtual-mode concurrency bound (0 = derive from the capacity model)")
+	fleetAction := subFlags.String("action", "checkpoint",
+		"fleet: maintenance action, checkpoint or migrate")
+	fleetLoad := subFlags.Bool("load", false,
+		"fleet: run a dbench load on each node at boot")
 	if sub != "" {
 		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
@@ -58,6 +70,19 @@ func main() {
 		// The campaign builds its own system: a small deferral budget
 		// keeps starved-switch episodes to a few simulated ticks.
 		chaosCmd(pol, *ncpu, *seed, *episodes, *migrateFaults)
+		return
+	}
+	if sub == "fleet" {
+		fleetCmd(fleetOpts{
+			nodes:      *fleetNodes,
+			batch:      *fleetBatch,
+			arrival:    *fleetArrival,
+			deadline:   *fleetDeadline,
+			maxVirtual: *fleetMaxVirtual,
+			action:     *fleetAction,
+			load:       *fleetLoad,
+			policy:     pol,
+		})
 		return
 	}
 	var col *obs.Collector
@@ -84,7 +109,7 @@ func main() {
 		case "trace":
 			traceCmd(mc, col, *out)
 		default:
-			log.Fatalf("unknown subcommand %q (want stats, trace or chaos)", sub)
+			log.Fatalf("unknown subcommand %q (want stats, trace, chaos or fleet)", sub)
 		}
 		return
 	}

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+// Reference-style links and autolinks are not used in this repo's docs.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks checks every relative link in the repo's
+// markdown files against the filesystem, so a renamed file or a typo'd
+// anchor target fails CI instead of rotting silently.
+func TestDocsRelativeLinks(t *testing.T) {
+	mds, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mds) == 0 {
+		t.Fatal("no markdown files at the repo root")
+	}
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			path := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: broken relative link %q: %v", md, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsBacktickedFiles checks that repo paths named in backticks in
+// the README and ARCHITECTURE (the docs most prone to drift) still
+// exist: `DESIGN.md`, `internal/fleet`, `cmd/benchtab`, ...
+func TestDocsBacktickedFiles(t *testing.T) {
+	ref := regexp.MustCompile("`((?:internal|cmd|examples)/[a-z0-9_/-]+|[A-Z][A-Z_a-z0-9]*\\.md)`")
+	for _, md := range []string{"README.md", "ARCHITECTURE.md", "EXPERIMENTS.md"} {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ref.FindAllStringSubmatch(string(data), -1) {
+			if _, err := os.Stat(m[1]); err != nil {
+				t.Errorf("%s: references %q which does not exist", md, m[1])
+			}
+		}
+	}
+}
+
+// TestEveryInternalPackageHasDoc: each internal package carries its
+// overview in a doc.go whose comment begins "// Package <name>", so
+// `go doc repro/internal/<name>` gives a real description of the layer.
+func TestEveryInternalPackageHasDoc(t *testing.T) {
+	pkgs, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no internal packages")
+	}
+	for _, p := range pkgs {
+		if !p.IsDir() {
+			continue
+		}
+		doc := filepath.Join("internal", p.Name(), "doc.go")
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("internal/%s has no doc.go: %v", p.Name(), err)
+			continue
+		}
+		want := "// Package " + p.Name()
+		if !strings.HasPrefix(string(data), want) {
+			t.Errorf("%s does not begin with %q", doc, want)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fleet"
+)
+
+// Fleet sweep axes: fleet size × maintenance batch size × admission
+// arrival rate (requests submitted per fleet tick).
+var (
+	FleetNodes    = []int{4, 8}
+	FleetBatches  = []int{1, 2, 4}
+	FleetArrivals = []int{1, 4}
+)
+
+// FleetPoint is one cell of the rolling-maintenance sweep: a fleet of
+// the given size taken through one full checkpoint wave, with the
+// admission controller bounding virtual-mode concurrency via the
+// capacity model (≈15% tax per attached node, ≤10% aggregate loss).
+type FleetPoint struct {
+	Nodes      int `json:"nodes"`
+	BatchSize  int `json:"batch_size"`
+	Arrival    int `json:"arrival_per_tick"`
+	MaxVirtual int `json:"max_virtual"`
+
+	// Algorithmic outcomes — exact on a deterministic simulation.
+	Completed     int   `json:"completed"`
+	Ticks         int64 `json:"ticks"`
+	MaxInUse      int   `json:"max_in_use"`
+	MaxQueueDepth int   `json:"max_queue_depth"`
+	Rejected      int   `json:"rejected"`
+
+	// Pipeline costs on the nodes' own TSCs.
+	MeanAttachCyc uint64  `json:"mean_attach_cyc"`
+	MeanDetachCyc uint64  `json:"mean_detach_cyc"`
+	MeanActionCyc uint64  `json:"mean_action_cyc"`
+	MeanAttachUS  float64 `json:"mean_attach_us"`
+	MeanDetachUS  float64 `json:"mean_detach_us"`
+}
+
+// FleetSweep runs one checkpoint wave per (nodes, batch, arrival) cell
+// and reports admission behaviour and mean switch latencies. The
+// admission bound is a hard invariant: a cell whose high-water mark
+// exceeds its MaxVirtual fails the sweep.
+func FleetSweep(opt Options) ([]FleetPoint, error) {
+	opt.fill()
+	var pts []FleetPoint
+	for _, nodes := range FleetNodes {
+		for _, batch := range FleetBatches {
+			for _, arrival := range FleetArrivals {
+				pt, err := fleetPoint(nodes, batch, arrival)
+				if err != nil {
+					return nil, fmt.Errorf("bench: fleet %dn/%db/%da: %w",
+						nodes, batch, arrival, err)
+				}
+				pts = append(pts, pt)
+			}
+		}
+	}
+	return pts, nil
+}
+
+func fleetPoint(nodes, batch, arrival int) (FleetPoint, error) {
+	pt := FleetPoint{Nodes: nodes, BatchSize: batch, Arrival: arrival}
+	fc, err := fleet.New(fleet.Config{
+		Nodes: nodes,
+		Node:  fleet.NodeConfig{MemBytes: 48 << 20, Pages: 32},
+	})
+	if err != nil {
+		return pt, err
+	}
+	pt.MaxVirtual = fc.Config().MaxVirtual
+	rep, err := fc.RunWave(fleet.WaveConfig{
+		Action:         fleet.ActionCheckpoint,
+		BatchSize:      batch,
+		ArrivalPerTick: arrival,
+	})
+	if err != nil {
+		return pt, err
+	}
+	if rep.Admission.MaxInUse > pt.MaxVirtual {
+		return pt, fmt.Errorf("admission bound breached: %d in use > MaxVirtual %d",
+			rep.Admission.MaxInUse, pt.MaxVirtual)
+	}
+	pt.Completed = rep.Completed
+	pt.Ticks = int64(rep.Ticks)
+	pt.MaxInUse = rep.Admission.MaxInUse
+	pt.MaxQueueDepth = rep.Admission.MaxQueueDepth
+	pt.Rejected = rep.Admission.Rejected
+	pt.MeanAttachCyc = uint64(rep.MeanAttachCyc)
+	pt.MeanDetachCyc = uint64(rep.MeanDetachCyc)
+	pt.MeanActionCyc = uint64(rep.MeanActionCyc)
+	m := fc.Nodes[0].M
+	pt.MeanAttachUS = m.Micros(rep.MeanAttachCyc)
+	pt.MeanDetachUS = m.Micros(rep.MeanDetachCyc)
+	return pt, nil
+}
+
+// WriteFleetSweep renders the sweep as a table.
+func WriteFleetSweep(w io.Writer, pts []FleetPoint) {
+	fmt.Fprintf(w, "Rolling maintenance across a Mercury fleet (checkpoint wave, admission-bounded)\n")
+	fmt.Fprintf(w, "%6s %6s %8s %6s %6s %6s %7s %7s %11s %11s\n",
+		"nodes", "batch", "arrival", "maxV", "inUse", "queue", "done", "ticks",
+		"attach(us)", "detach(us)")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%6d %6d %8d %6d %6d %6d %7d %7d %11.2f %11.2f\n",
+			pt.Nodes, pt.BatchSize, pt.Arrival, pt.MaxVirtual, pt.MaxInUse,
+			pt.MaxQueueDepth, pt.Completed, pt.Ticks,
+			pt.MeanAttachUS, pt.MeanDetachUS)
+	}
+}
+
+// FleetBaselineSchema versions the committed fleet baseline.
+const FleetBaselineSchema = "mercury-bench/fleet/v1"
+
+// FleetBaseline is the serialized sweep: committed at the repo root as
+// BENCH_fleet.json and diffed in CI like the switch and migration
+// baselines.
+type FleetBaseline struct {
+	Schema string       `json:"schema"`
+	Sweep  []FleetPoint `json:"sweep"`
+}
+
+// WriteFleetBaseline writes the sweep to path as indented JSON.
+func WriteFleetBaseline(path string, pts []FleetPoint) error {
+	return WriteJSONFile(path, FleetBaseline{Schema: FleetBaselineSchema, Sweep: pts})
+}
+
+// LoadFleetBaseline reads a committed baseline.
+func LoadFleetBaseline(path string) (*FleetBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading fleet baseline: %w", err)
+	}
+	var b FleetBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: decoding fleet baseline %s: %w", path, err)
+	}
+	if b.Schema != FleetBaselineSchema {
+		return nil, fmt.Errorf("bench: fleet baseline %s has schema %q, want %q",
+			path, b.Schema, FleetBaselineSchema)
+	}
+	return &b, nil
+}
+
+// CompareFleetBaseline diffs a fresh sweep against the committed
+// baseline. Points are matched by (nodes, batch, arrival). Admission
+// outcomes — completions, tick count, high-water marks — are
+// scheduling decisions on a deterministic simulation and must match
+// exactly; the cycle means may deviate by tolerancePct.
+func CompareFleetBaseline(base *FleetBaseline, fresh []FleetPoint, tolerancePct float64) []string {
+	type key struct{ nodes, batch, arrival int }
+	idx := make(map[key]FleetPoint, len(base.Sweep))
+	for _, pt := range base.Sweep {
+		idx[key{pt.Nodes, pt.BatchSize, pt.Arrival}] = pt
+	}
+
+	var violations []string
+	exact := func(k key, field string, want, got int64) {
+		if want != got {
+			violations = append(violations,
+				fmt.Sprintf("%dn/%db/%da %s: baseline %d, measured %d (exact field)",
+					k.nodes, k.batch, k.arrival, field, want, got))
+		}
+	}
+	cycles := func(k key, field string, want, got uint64) {
+		if want == 0 {
+			if got != 0 {
+				violations = append(violations,
+					fmt.Sprintf("%dn/%db/%da %s: baseline 0, measured %d",
+						k.nodes, k.batch, k.arrival, field, got))
+			}
+			return
+		}
+		dev := (float64(got) - float64(want)) / float64(want) * 100
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > tolerancePct {
+			violations = append(violations,
+				fmt.Sprintf("%dn/%db/%da %s: baseline %d, measured %d (%.1f%% > %.1f%% tolerance)",
+					k.nodes, k.batch, k.arrival, field, want, got, dev, tolerancePct))
+		}
+	}
+	seen := make(map[key]bool, len(fresh))
+	for _, pt := range fresh {
+		k := key{pt.Nodes, pt.BatchSize, pt.Arrival}
+		seen[k] = true
+		want, ok := idx[k]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%dn/%db/%da: not in baseline", k.nodes, k.batch, k.arrival))
+			continue
+		}
+		exact(k, "max_virtual", int64(want.MaxVirtual), int64(pt.MaxVirtual))
+		exact(k, "completed", int64(want.Completed), int64(pt.Completed))
+		exact(k, "ticks", want.Ticks, pt.Ticks)
+		exact(k, "max_in_use", int64(want.MaxInUse), int64(pt.MaxInUse))
+		exact(k, "max_queue_depth", int64(want.MaxQueueDepth), int64(pt.MaxQueueDepth))
+		exact(k, "rejected", int64(want.Rejected), int64(pt.Rejected))
+		cycles(k, "mean_attach_cyc", want.MeanAttachCyc, pt.MeanAttachCyc)
+		cycles(k, "mean_detach_cyc", want.MeanDetachCyc, pt.MeanDetachCyc)
+		cycles(k, "mean_action_cyc", want.MeanActionCyc, pt.MeanActionCyc)
+	}
+	for k := range idx {
+		if !seen[k] {
+			violations = append(violations,
+				fmt.Sprintf("%dn/%db/%da: in baseline but not measured", k.nodes, k.batch, k.arrival))
+		}
+	}
+	return violations
+}

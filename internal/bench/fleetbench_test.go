@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetSweepSmoke runs a reduced sweep and checks the admission
+// bound and baseline round-trip machinery.
+func TestFleetSweepSmoke(t *testing.T) {
+	defer func(n, b, a []int) { FleetNodes, FleetBatches, FleetArrivals = n, b, a }(
+		FleetNodes, FleetBatches, FleetArrivals)
+	FleetNodes = []int{4}
+	FleetBatches = []int{1, 2}
+	FleetArrivals = []int{2}
+
+	pts, err := FleetSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points; want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Completed != pt.Nodes {
+			t.Errorf("%dn/%db: completed %d of %d", pt.Nodes, pt.BatchSize,
+				pt.Completed, pt.Nodes)
+		}
+		if pt.MaxInUse > pt.MaxVirtual {
+			t.Errorf("%dn/%db: MaxInUse %d > MaxVirtual %d",
+				pt.Nodes, pt.BatchSize, pt.MaxInUse, pt.MaxVirtual)
+		}
+		if pt.MeanAttachCyc == 0 || pt.MeanDetachCyc == 0 {
+			t.Errorf("%dn/%db: missing switch costs: %+v", pt.Nodes, pt.BatchSize, pt)
+		}
+	}
+
+	// Baseline round trip: identical sweep diffs clean.
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := WriteFleetBaseline(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadFleetBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CompareFleetBaseline(base, pts, 1); len(v) != 0 {
+		t.Fatalf("self-compare violations: %v", v)
+	}
+
+	// A drifted algorithmic field must be an exact-match breach.
+	drift := make([]FleetPoint, len(pts))
+	copy(drift, pts)
+	drift[0].Completed++
+	if v := CompareFleetBaseline(base, drift, 100); len(v) == 0 {
+		t.Fatal("drifted completion count passed the diff")
+	}
+}
+
+// TestFleetSweepDeterminism: the same cell twice gives identical
+// points, cycle for cycle.
+func TestFleetSweepDeterminism(t *testing.T) {
+	a, err := fleetPoint(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fleetPoint(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical cells diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,7 +1,3 @@
-// Package bench builds the six system configurations of the paper's
-// evaluation (§7.1) and runs the workload suite against them, rendering
-// Tables 1–2, Figures 3–4, the mode-switch timings of §7.4 and the
-// tracking-policy ablation of §5.1.2.
 package bench
 
 import (

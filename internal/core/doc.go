@@ -1,0 +1,18 @@
+// Package core implements Mercury itself: the self-virtualization engine
+// that dynamically attaches a pre-cached, full-fledged VMM underneath a
+// running operating system and detaches it again, in sub-millisecond
+// time, without disturbing running applications (§4, §5).
+//
+// The engine combines:
+//   - a VMM pre-cached at machine boot (§4.1): xen.Boot builds and warms
+//     every hypervisor structure; only per-switch state is touched later;
+//   - virtualization objects (§4.2): the kernel's sensitive operations go
+//     through vo.Object; a mode switch swaps the object pointer;
+//   - behavior-consistency machinery (§5.1): reference-counted switch
+//     commit with a 10 ms retry timer, state-transfer functions
+//     (page-table pinning/release, kernel segment privilege flips,
+//     interrupt rebinding, cached-selector fixup on sleeping threads'
+//     kernel stacks) and state reloading inside an uninterruptible
+//     interrupt handler;
+//   - SMP coordination via IPIs and shared counters (§5.4).
+package core

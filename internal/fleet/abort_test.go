@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/guest"
+)
+
+// assertAbortedClean is the wave-abort contract the property tests
+// check: every node native, nothing hosted anywhere, admission queue
+// empty with no slot still accounted.
+func assertAbortedClean(t *testing.T, fc *Controller, rep *WaveReport, victim NodeID) {
+	t.Helper()
+	if !rep.Aborted {
+		t.Fatal("wave did not abort")
+	}
+	if rep.FailedNode != victim {
+		t.Errorf("failed node = %d; want %d", rep.FailedNode, victim)
+	}
+	for _, n := range fc.Nodes {
+		if m := n.MC.Mode(); m != core.ModeNative {
+			t.Errorf("%s stranded in mode %v after abort", n.Name, m)
+		}
+		if doms := n.MC.HostedDomains(); len(doms) != 0 {
+			t.Errorf("%s leaked %d hosted domains after abort", n.Name, len(doms))
+		}
+		if n.ID == victim {
+			if n.State() != NodeFailed {
+				t.Errorf("%s state = %v; want failed", n.Name, n.State())
+			}
+		} else if n.State() != NodeServing {
+			t.Errorf("%s state = %v; want serving", n.Name, n.State())
+		}
+	}
+	if fc.Standby != nil {
+		if n := len(fc.Standby.V.Domains); n != 1 {
+			t.Errorf("standby holds %d domains after abort; want 1 (dom0)", n)
+		}
+	}
+	if d := fc.Adm.Depth(); d != 0 {
+		t.Errorf("admission queue depth = %d after abort; want 0", d)
+	}
+	if u := fc.Adm.InUse(); u != 0 {
+		t.Errorf("admission slots in use = %d after abort; want 0", u)
+	}
+}
+
+// TestWaveAbortDirect drives the abort machinery with a plain hook
+// error — the machinery itself, independent of any fault class.
+func TestWaveAbortDirect(t *testing.T) {
+	fc, err := New(testConfig(4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = NodeID(2)
+	fc.PreAttach = func(n *Node, p *guest.Proc) (func(), error) {
+		if n.ID == victim {
+			return nil, errInjected
+		}
+		return nil, nil
+	}
+	rep, err := fc.RunWave(WaveConfig{Action: ActionCheckpoint, BatchSize: 2})
+	if err == nil {
+		t.Fatal("wave with a failing node succeeded")
+	}
+	assertAbortedClean(t, fc, rep, victim)
+	if err := fc.CheckFleetInvariants(); err != nil {
+		t.Errorf("fleet invariants after abort: %v", err)
+	}
+}
+
+var errInjected = &injectedErr{}
+
+type injectedErr struct{}
+
+func (*injectedErr) Error() string { return "injected pre-attach failure" }
+
+// TestWaveAbortChaosProperty is the property test from the issue: for
+// each chaos fault class that Mercury's pipeline must catch (switch
+// validation or the invariant oracle), injected mid-wave on a victim
+// node across several seeds, the aborted wave leaves every node
+// native, zero leaked domains, and an empty admission queue — and once
+// the fault is lifted, the whole fleet verifies clean again.
+func TestWaveAbortChaosProperty(t *testing.T) {
+	// Sensor-detected faults are the healing path's job, not the abort
+	// path's: the pipeline's self-heal step repairs them and the wave
+	// completes. "domain-state" is also excluded — the attach itself
+	// legitimately rewrites the driver domain's state, so a pre-attach
+	// injection of it cannot survive to the detection point. The abort
+	// property quantifies over the rest.
+	abortable := []string{
+		"pagetable-corruption",
+		"stale-selector",
+		"idt-gate-clobber",
+		"vo-stuck-op",
+		"hypercall-transient",
+		"frametable-bitflip",
+	}
+	for _, name := range abortable {
+		for _, seed := range []int64{1, 7} {
+			t.Run(name, func(t *testing.T) {
+				cfg := testConfig(4, false)
+				// A small deferral budget: the wedged-driver fault
+				// (vo-stuck-op) should report starvation quickly, not
+				// spin through the core default.
+				cfg.Node.MaxDeferrals = 16
+				fc, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const victim = NodeID(2)
+				injected := false
+				rng := rand.New(rand.NewSource(seed))
+				fc.PreAttach = func(n *Node, p *guest.Proc) (func(), error) {
+					if n.ID != victim || injected {
+						return nil, nil
+					}
+					for _, f := range chaos.Catalog(n.MC) {
+						if f.Name != name {
+							continue
+						}
+						a, err := f.Inject(&chaos.Ctx{
+							MC: n.MC, P: p, C: p.CPU(), Rand: rng,
+						})
+						if err != nil {
+							t.Fatalf("injecting %s: %v", name, err)
+						}
+						injected = true
+						// The fault stays armed through the pipeline —
+						// which must catch it — and is lifted only when
+						// the pipeline unwinds.
+						return a.Undo, nil
+					}
+					t.Fatalf("fault %q not in catalog", name)
+					return nil, nil
+				}
+				rep, err := fc.RunWave(WaveConfig{Action: ActionCheckpoint, BatchSize: 2})
+				if err == nil {
+					t.Fatalf("wave with %s injected succeeded", name)
+				}
+				if !injected {
+					t.Fatal("injector never ran")
+				}
+				assertAbortedClean(t, fc, rep, victim)
+
+				// The fault was lifted when the pipeline unwound: the
+				// fleet must verify clean again.
+				if err := fc.CheckFleetInvariants(); err != nil {
+					t.Errorf("fleet invariants after abort: %v", err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/obs"
+)
+
+// DefaultVirtualTaxPct is the per-node throughput cost of running in
+// virtual mode — Table 1's worst-case lmbench degradation between M-N
+// and M-V is on the order of 15%.
+const DefaultVirtualTaxPct = 15
+
+// DefaultMaxCapacityLossPct is the fleet-wide serving-capacity loss the
+// admission controller is willing to trade for maintenance progress: a
+// switched node keeps serving (that is self-virtualization's point) but
+// at 100−VirtualTaxPct percent, so the aggregate loss with k nodes
+// attached is k·VirtualTaxPct/Nodes percent.
+const DefaultMaxCapacityLossPct = 10
+
+// Config shapes one fleet.
+type Config struct {
+	// Nodes is the fleet size (≥ 1).
+	Nodes int
+	// Node shapes each node (memory, policy, working set, load).
+	Node NodeConfig
+
+	// MaxVirtual bounds concurrent virtual-mode nodes. 0 derives it
+	// from the capacity model: with each attached node paying
+	// VirtualTaxPct of its throughput, at most
+	// Nodes·MaxCapacityLossPct/VirtualTaxPct nodes may be attached
+	// before the fleet loses more than MaxCapacityLossPct of its
+	// aggregate capacity.
+	MaxVirtual int
+	// VirtualTaxPct and MaxCapacityLossPct parameterize that model
+	// (defaults DefaultVirtualTaxPct / DefaultMaxCapacityLossPct).
+	VirtualTaxPct      int
+	MaxCapacityLossPct int
+
+	// QueueCap is the admission queue capacity (default 2·Nodes: a
+	// whole wave can wait, anything more is a caller bug).
+	QueueCap int
+
+	// Standby, when true, boots a standby VMM so ActionMigrate works.
+	Standby bool
+
+	// Collector receives fleet-level telemetry (optional).
+	Collector *obs.Collector
+
+	// Seed feeds the payload generator; fleet scheduling itself is
+	// deterministic by construction.
+	Seed int64
+}
+
+// DeriveMaxVirtual applies the capacity model to a fleet size.
+func DeriveMaxVirtual(nodes, taxPct, maxLossPct int) int {
+	if taxPct <= 0 {
+		taxPct = DefaultVirtualTaxPct
+	}
+	if maxLossPct <= 0 {
+		maxLossPct = DefaultMaxCapacityLossPct
+	}
+	// k·taxPct/nodes ≤ maxLossPct  ⇒  k ≤ nodes·maxLossPct/taxPct.
+	k := nodes * maxLossPct / taxPct
+	if k < 1 {
+		k = 1
+	}
+	if k > nodes {
+		k = nodes
+	}
+	return k
+}
+
+// Controller owns the fleet: the nodes, the standby, the admission
+// controller, and the fleet clock.
+type Controller struct {
+	Nodes   []*Node
+	Adm     *Admission
+	Standby *Standby
+
+	cfg Config
+	col *obs.Collector
+	now Tick
+
+	// Telemetry.
+	waveProgress *obs.Gauge
+	waveBatch    *obs.Gauge
+	wavesTotal   *obs.Counter
+	waveAborts   *obs.Counter
+	maintained   *obs.Counter
+	attachCyc    *obs.Histogram
+	detachCyc    *obs.Histogram
+	actionCyc    *obs.Histogram
+
+	// PreAttach, when set, runs inside each node's maintenance process
+	// just before the VMM attach — the hook the chaos-style property
+	// tests use to inject faults mid-wave. A non-nil cleanup is run when
+	// the pipeline unwinds (success or failure), before the maintenance
+	// process exits: an injected fault must be lifted with the node
+	// still alive, the same discipline the chaos campaign's episodes
+	// follow.
+	PreAttach func(n *Node, p *guest.Proc) (cleanup func(), err error)
+}
+
+// New boots a fleet.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("fleet: need at least one node")
+	}
+	if cfg.MaxVirtual == 0 {
+		cfg.MaxVirtual = DeriveMaxVirtual(cfg.Nodes, cfg.VirtualTaxPct, cfg.MaxCapacityLossPct)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 2 * cfg.Nodes
+	}
+	fc := &Controller{cfg: cfg, col: cfg.Collector}
+	fc.Adm = NewAdmission(cfg.MaxVirtual, cfg.QueueCap, cfg.Collector)
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := NewNode(NodeID(i), cfg.Node)
+		if err != nil {
+			return nil, err
+		}
+		fc.Nodes = append(fc.Nodes, n)
+	}
+	if cfg.Standby {
+		sb, err := NewStandby()
+		if err != nil {
+			return nil, err
+		}
+		fc.Standby = sb
+	}
+	if col := cfg.Collector; col != nil {
+		r := col.Registry
+		fc.waveProgress = r.Gauge("fleet", "wave_progress")
+		fc.waveBatch = r.Gauge("fleet", "wave_batch")
+		fc.wavesTotal = r.Counter("fleet", "waves_total")
+		fc.waveAborts = r.Counter("fleet", "wave_aborts_total")
+		fc.maintained = r.Counter("fleet", "nodes_maintained_total")
+		fc.attachCyc = r.Histogram("fleet", "node_attach_cycles")
+		fc.detachCyc = r.Histogram("fleet", "node_detach_cycles")
+		fc.actionCyc = r.Histogram("fleet", "node_action_cycles")
+	}
+	return fc, nil
+}
+
+// Now returns the fleet clock.
+func (fc *Controller) Now() Tick { return fc.now }
+
+// Config returns the (defaults-filled) configuration the fleet was
+// built with.
+func (fc *Controller) Config() Config { return fc.cfg }
+
+// CheckFleetInvariants verifies every node is quiescent-clean — the
+// fleet-level analogue of core.CheckInvariants, consulted after a wave.
+func (fc *Controller) CheckFleetInvariants() error {
+	for _, n := range fc.Nodes {
+		if err := n.MC.CheckInvariants(n.M.BootCPU()); err != nil {
+			return fmt.Errorf("fleet: %s: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+// VirtualNodes counts nodes currently in a non-native mode.
+func (fc *Controller) VirtualNodes() int {
+	v := 0
+	for _, n := range fc.Nodes {
+		if n.MC.Mode() != core.ModeNative {
+			v++
+		}
+	}
+	return v
+}

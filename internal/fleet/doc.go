@@ -1,0 +1,32 @@
+// Package fleet turns single-node Mercury into a system: a controller
+// that manages N simulated Mercury nodes (each an internal/core
+// instance with its own pre-cached VMM and workload load) and schedules
+// maintenance across them, the way on-demand cluster provisioning
+// surveys (Kiyanclar) and vLibOS's "virtualize only what needs
+// babysitting" philosophy apply §4/§6 of the paper at rack scale.
+//
+// Three pieces compose:
+//
+//   - an admission controller (Admission) that bounds how many nodes
+//     may be in virtual mode at once — every switched node pays the
+//     ~15% virtualization tax of Table 1, so virtual-mode capacity is a
+//     reserved resource — with a FIFO queue, per-request deadlines, and
+//     backpressure (a full queue rejects instead of growing unbounded);
+//   - a rolling-maintenance engine (Controller.RunWave) that takes the
+//     fleet through a maintenance wave one batch at a time: each node
+//     is drained, admitted, attached (self-virtualized), checkpointed
+//     or live-migrated through the §6.3 transactional pipeline
+//     (migrate.Txn), detached, and verified healthy via the same
+//     invariant checker the chaos campaigns use; any invariant failure
+//     aborts the whole wave and restores every node to native mode;
+//   - fleet-level observability: per-node switch latencies, wave
+//     progress, queue depth, and admission outcomes exported through an
+//     internal/obs collector, surfaced by `mercuryctl fleet` and the
+//     `benchtab -exp fleet` sweep.
+//
+// Determinism: nodes are uniprocessor simulations driven in a fixed
+// order from a discrete fleet clock (Tick), and the only random input
+// is the seeded payload generator — the same Config always produces
+// the same wave report, cycle for cycle, which is what the committed
+// BENCH_fleet.json baseline asserts in CI.
+package fleet

@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func testConfig(nodes int, standby bool) Config {
+	return Config{
+		Nodes:   nodes,
+		Node:    NodeConfig{MemBytes: 48 << 20, Pages: 32},
+		Standby: standby,
+	}
+}
+
+func assertQuiescent(t *testing.T, fc *Controller) {
+	t.Helper()
+	for _, n := range fc.Nodes {
+		if m := n.MC.Mode(); m != core.ModeNative {
+			t.Errorf("%s left in mode %v", n.Name, m)
+		}
+		if doms := n.MC.HostedDomains(); len(doms) != 0 {
+			t.Errorf("%s leaked %d hosted domains", n.Name, len(doms))
+		}
+	}
+	if fc.Standby != nil {
+		// Only the standby's own dom0 may remain.
+		if n := len(fc.Standby.V.Domains); n != 1 {
+			t.Errorf("standby holds %d domains; want 1 (dom0)", n)
+		}
+	}
+	if d := fc.Adm.Depth(); d != 0 {
+		t.Errorf("admission queue depth = %d; want 0", d)
+	}
+	if u := fc.Adm.InUse(); u != 0 {
+		t.Errorf("admission slots in use = %d; want 0", u)
+	}
+	if err := fc.CheckFleetInvariants(); err != nil {
+		t.Errorf("fleet invariants: %v", err)
+	}
+}
+
+func TestWaveCheckpoint(t *testing.T) {
+	col := obs.New(1)
+	cfg := testConfig(4, false)
+	cfg.Collector = col
+	fc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fc.RunWave(WaveConfig{Action: ActionCheckpoint, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted {
+		t.Fatalf("wave aborted: %s", rep.AbortReason)
+	}
+	if rep.Completed != 4 || len(rep.PerNode) != 4 {
+		t.Fatalf("completed %d / %d reports; want 4 / 4", rep.Completed, len(rep.PerNode))
+	}
+	if len(rep.Batches) != 2 {
+		t.Fatalf("batches = %d; want 2", len(rep.Batches))
+	}
+	for _, nr := range rep.PerNode {
+		if !nr.HealedClean {
+			t.Errorf("node%d did not verify clean", nr.Node)
+		}
+		if nr.ImagePages == 0 {
+			t.Errorf("node%d checkpoint image empty", nr.Node)
+		}
+		if nr.AttachCyc == 0 || nr.DetachCyc == 0 || nr.ActionCyc == 0 {
+			t.Errorf("node%d missing pipeline timings: %+v", nr.Node, nr)
+		}
+		if nr.ReleasedAt <= nr.GrantedAt {
+			t.Errorf("node%d released at %d before grant %d", nr.Node, nr.ReleasedAt, nr.GrantedAt)
+		}
+	}
+	if rep.Admission.MaxInUse > fc.Config().MaxVirtual {
+		t.Errorf("MaxInUse %d exceeded MaxVirtual %d",
+			rep.Admission.MaxInUse, fc.Config().MaxVirtual)
+	}
+	if rep.MeanAttachCyc == 0 || rep.MeanDetachCyc == 0 {
+		t.Error("mean switch latencies missing")
+	}
+	for _, n := range fc.Nodes {
+		if n.State() != NodeServing {
+			t.Errorf("%s state = %v; want serving", n.Name, n.State())
+		}
+	}
+	assertQuiescent(t, fc)
+
+	// Telemetry flowed: the registry hands back the same instrument.
+	if got := col.Registry.Counter("fleet", "nodes_maintained_total").Load(); got != 4 {
+		t.Errorf("fleet/nodes_maintained_total = %d; want 4", got)
+	}
+	if got := col.Registry.Histogram("fleet", "node_attach_cycles").Count(); got != 4 {
+		t.Errorf("fleet/node_attach_cycles count = %d; want 4", got)
+	}
+}
+
+func TestWaveMigrate(t *testing.T) {
+	fc, err := New(testConfig(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fc.RunWave(WaveConfig{Action: ActionMigrate, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("completed %d; want 3", rep.Completed)
+	}
+	for _, nr := range rep.PerNode {
+		if !nr.Migrated {
+			t.Errorf("node%d migration did not commit", nr.Node)
+		}
+		if nr.DowntimeCyc == 0 {
+			t.Errorf("node%d reports zero stop-and-copy downtime", nr.Node)
+		}
+	}
+	assertQuiescent(t, fc)
+}
+
+func TestWaveMigrateNeedsStandby(t *testing.T) {
+	fc, err := New(testConfig(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.RunWave(WaveConfig{Action: ActionMigrate}); err == nil {
+		t.Fatal("migrate wave without a standby succeeded")
+	}
+}
+
+func TestWaveDeadlineExpiry(t *testing.T) {
+	// One slot, whole batch arrives at once, deadline shorter than any
+	// service time: the queued-behind requests must expire, and the wave
+	// must still terminate cleanly.
+	cfg := testConfig(3, false)
+	cfg.MaxVirtual = 1
+	fc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fc.RunWave(WaveConfig{
+		Action:        ActionCheckpoint,
+		BatchSize:     3,
+		DeadlineTicks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Expired == 0 {
+		t.Fatal("no request expired under a 1-tick deadline")
+	}
+	if rep.Completed+rep.Expired != 3 {
+		t.Fatalf("completed %d + expired %d != 3", rep.Completed, rep.Expired)
+	}
+	assertQuiescent(t, fc)
+}
+
+func TestWaveDeterminism(t *testing.T) {
+	run := func() []byte {
+		fc, err := New(testConfig(4, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fc.RunWave(WaveConfig{Action: ActionCheckpoint, BatchSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("two identical fleet runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestWaveBoundUnderSaturation(t *testing.T) {
+	// Everything arrives at once against a tight bound: the high-water
+	// mark must still respect MaxVirtual.
+	cfg := testConfig(6, false)
+	cfg.MaxVirtual = 2
+	fc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fc.RunWave(WaveConfig{Action: ActionCheckpoint, BatchSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admission.MaxInUse > 2 {
+		t.Fatalf("MaxInUse = %d; bound was 2", rep.Admission.MaxInUse)
+	}
+	if rep.Completed != 6 {
+		t.Fatalf("completed %d; want 6", rep.Completed)
+	}
+	assertQuiescent(t, fc)
+}
+
+func TestNodeLoad(t *testing.T) {
+	n, err := NewNode(0, NodeConfig{MemBytes: 48 << 20, RunLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load <= 0 {
+		t.Fatalf("dbench load score = %v; want > 0", n.Load)
+	}
+}

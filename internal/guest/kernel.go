@@ -1,14 +1,3 @@
-// Package guest implements the paravirtualizable operating system kernel
-// Mercury self-virtualizes: processes with fork/exec, a scheduler,
-// demand-paged address spaces over simulated page tables, a page cache
-// and filesystem, block and network drivers in both native and split
-// frontend variants, and a minimal network stack.
-//
-// Every virtualization-sensitive operation the kernel performs goes
-// through its current virtualization object (internal/vo), so the same
-// kernel runs on bare hardware (N-L, M-N), as a Xen driver domain (X-0,
-// M-V) or as an unprivileged domain with split I/O (X-U, M-U), and can be
-// relocated between those modes while running.
 package guest
 
 import (

@@ -1,0 +1,8 @@
+// Package migrate implements the dependability features self-
+// virtualization enables (§6): whole-domain checkpoint and restart
+// (§6.1) and pre-copy live migration with dirty-page logging (§6.3,
+// following Clark et al.'s algorithm the paper builds on). Both operate
+// on a domain's physical memory partition plus its vcpu and page-table
+// state; restoring onto a different machine relocates page-table frame
+// numbers the way Xen's migration canonicalizes MFNs.
+package migrate

@@ -1,10 +1,3 @@
-// Package pgtable manages two-level page-table trees in simulated
-// physical memory. It is shared by the guest kernel (which builds address
-// spaces) and the VMM (which validates and pins the same trees in direct
-// paging mode, §3.2.2). The package never decides *how* an entry store is
-// performed — callers supply a WriteFn, which the guest binds to its
-// current virtualization object so stores are direct in native mode and
-// hypercalls in virtual mode.
 package pgtable
 
 import (

@@ -1,22 +1,3 @@
-// Package vo implements the paper's central abstraction, the
-// Virtualization Object (§4.2, §5.3): all virtualization-sensitive code
-// and data grouped behind one function/data table, with separate
-// implementations for an OS on bare hardware and an OS on the VMM.
-// Relocating the kernel between execution modes is then a matter of
-// swapping the object pointer — which is exactly what Mercury's mode
-// switch does.
-//
-// Three implementations exist:
-//
-//   - Direct: the ops an *unmodified* native kernel performs (the N-L
-//     baseline). No indirection, no reference counting.
-//   - Native: Mercury's native-mode object — the same direct hardware
-//     manipulation, but invoked through the object table and reference
-//     counted on entry/exit so a mode switch can tell when it is safe to
-//     commit (§5.1.1). Optionally mirrors page-table stores into the
-//     pre-cached VMM's frame table (the active-tracking policy, §5.1.2).
-//   - Virtual: Mercury's virtual-mode object — every sensitive operation
-//     becomes a hypercall into the VMM.
 package vo
 
 import (

@@ -1,0 +1,8 @@
+// Package workloads implements the benchmark programs of the paper's
+// evaluation (§7): the OS-related lmbench 3.0 microbenchmarks (Tables
+// 1–2), and the application-level suite of Figures 3–4 — OSDB-IR,
+// dbench, Linux kernel build, ping and Iperf. Each workload is written
+// against the guest kernel's process API, so the same program runs
+// unchanged on all six system configurations; the configurations differ
+// only in which virtualization object and drivers sit underneath.
+package workloads

@@ -1,0 +1,8 @@
+// Package xen implements the full-fledged VMM substrate Mercury attaches
+// and detaches: domains, hypercalls, per-frame ownership/type/count
+// accounting with direct-mode paging, event channels, grant-mapped shared
+// I/O rings with backend drivers, and a simple domain scheduler. It is a
+// from-scratch reimplementation of the Xen 3.0.x mechanisms the paper's
+// prototype relies on, reduced to the parts that determine behaviour and
+// cost.
+package xen
