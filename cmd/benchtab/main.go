@@ -24,13 +24,14 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/divergence"
 	"repro/internal/hw"
 	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, fleet, all")
+		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, fleet, divergence, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
 	seed := flag.Int64("seed", 42, "chaos campaign seed")
 	episodes := flag.Int("episodes", 16, "chaos campaign episodes")
@@ -42,13 +43,14 @@ func main() {
 		"write machine-readable results: BENCH_switch.json (switchscale), BENCH_table1/2.json, BENCH_fig3/4.json")
 	jsonDir := flag.String("jsondir", ".", "directory for -json result files")
 	baseline := flag.String("baseline", "",
-		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate, BENCH_fleet.json for -exp fleet")
+		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate, BENCH_fleet.json for -exp fleet, BENCH_divergence.json for -exp divergence")
 	tolerance := flag.Float64("tolerance", 25,
 		"allowed per-point cycle deviation vs -baseline, percent")
 	policyName := flag.String("policy", "recompute",
 		"tracking policy for switch/chaos experiments: recompute, active, journal")
 	migrateFaults := flag.Bool("migrate", false,
 		"chaos experiment: add a standby node and the migration fault classes to the campaign")
+	divOps := flag.Int("divops", 300, "divergence experiment: workload length in operations")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -101,6 +103,7 @@ func main() {
 				f.Close()
 				fmt.Printf("wrote %s\n", path)
 			}
+			cs.WriteTraceHealth(os.Stdout)
 		}
 	}
 
@@ -190,6 +193,7 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", path)
+			bench.WriteTraceHealth(os.Stdout, "M-N", col)
 		}
 		fmt.Println()
 	}
@@ -369,6 +373,67 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", path)
+			bench.WriteTraceHealth(os.Stdout, "chaos", col)
+		}
+		fmt.Println()
+	}
+	if run("divergence") {
+		any = true
+		// Load the committed baseline before writing the fresh report:
+		// with -json both use the BENCH_divergence.json name, and a
+		// compare against a just-overwritten file would always pass.
+		var divBase *divergence.Report
+		if *baseline != "" && strings.EqualFold(*exp, "divergence") {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := divergence.LoadReport(data)
+			if err != nil {
+				log.Fatal(err)
+			}
+			divBase = b
+		}
+		rep, err := divergence.Run(divergence.Config{Seed: *seed, Ops: *divOps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if divBase != nil {
+			// Carry the committed budget into the regenerated file so a
+			// refresh does not silently drop the ceiling.
+			rep.NativeTaxBudgetPct = divBase.NativeTaxBudgetPct
+		}
+		rep.WriteText(os.Stdout)
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, "BENCH_divergence.json")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+			mdPath := filepath.Join(*jsonDir, "divergence_report.md")
+			mf, err := os.Create(mdPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.WriteMarkdown(mf)
+			mf.Close()
+			fmt.Printf("wrote %s\n", mdPath)
+		}
+		if divBase != nil {
+			violations := divergence.Compare(divBase, rep)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "baseline breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s held (exact counts matched, drift within %.0f%%, native tax %.2f%% <= budget %.2f%%)\n",
+				*baseline, divBase.TolerancePct, rep.NativeTaxPct, divBase.NativeTaxBudgetPct)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+type eventsOpts struct {
+	nodes    int
+	batch    int
+	deadline int
+	action   string
+	policy   core.TrackingPolicy
+
+	kind    string // filter: event kind name ("" = all)
+	node    int    // filter: node ID (-1 = fleet-level, -2 = all)
+	last    int    // keep only the newest N after filtering (0 = all)
+	jsonOut bool
+}
+
+// eventsCmd drives a fleet through one rolling-maintenance wave and
+// dumps the flight recorder: every mode transition, admission decision,
+// wave phase, heal outcome, and migration verdict the bounded event log
+// retained, with drop accounting.
+func eventsCmd(o eventsOpts) {
+	action, err := fleet.ParseAction(o.action)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kindFilter obs.EventKind
+	if o.kind != "" {
+		k, err := obs.ParseEventKind(o.kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kindFilter = k
+	}
+
+	col := obs.New(1)
+	fc, err := fleet.New(fleet.Config{
+		Nodes:     o.nodes,
+		Node:      fleet.NodeConfig{Policy: o.policy, Pages: 32},
+		Standby:   action == fleet.ActionMigrate,
+		Collector: col,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fc.RunWave(fleet.WaveConfig{
+		Action:        action,
+		BatchSize:     o.batch,
+		DeadlineTicks: o.deadline,
+	}); err != nil {
+		// The flight recorder is most interesting exactly when the wave
+		// failed; dump what it captured either way.
+		fmt.Fprintf(os.Stderr, "wave: %v\n", err)
+	}
+
+	evs := col.Events.Snapshot()
+	filtered := make([]obs.Event, 0, len(evs))
+	for _, e := range evs {
+		if kindFilter != 0 && e.Kind != kindFilter {
+			continue
+		}
+		if o.node != -2 && e.Node != int32(o.node) {
+			continue
+		}
+		filtered = append(filtered, e)
+	}
+	if o.last > 0 && len(filtered) > o.last {
+		filtered = filtered[len(filtered)-o.last:]
+	}
+
+	if o.jsonOut {
+		out := struct {
+			Events  []obs.Event `json:"events"`
+			Total   uint64      `json:"total"`
+			Dropped uint64      `json:"dropped"`
+		}{filtered, col.Events.Total(), col.Events.Dropped()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%6s %8s %6s %-18s %12s %12s\n", "seq", "tick", "node", "kind", "a", "b")
+	for _, e := range filtered {
+		node := fmt.Sprint(e.Node)
+		if e.Node < 0 {
+			node = "fleet"
+		}
+		fmt.Printf("%6d %8d %6s %-18s %12d %12d\n", e.Seq, e.TS, node, e.Kind, e.A, e.B)
+	}
+	fmt.Printf("%d shown of %d retained (%d recorded, %d dropped by ring wrap)\n",
+		len(filtered), len(evs), col.Events.Total(), col.Events.Dropped())
+}

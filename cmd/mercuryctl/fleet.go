@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"os"
@@ -19,12 +20,19 @@ type fleetOpts struct {
 	action     string
 	load       bool
 	policy     core.TrackingPolicy
+
+	interval int  // top: ticks between snapshots
+	jsonOut  bool // top: emit snapshots as JSON lines
 }
 
 // fleetCmd boots a fleet of Mercury nodes, takes it through one
 // rolling-maintenance wave, and prints the per-node pipeline costs,
 // the admission outcomes, and the fleet telemetry.
 func fleetCmd(o fleetOpts) {
+	if o.action == "top" {
+		fleetTop(o)
+		return
+	}
 	action, err := fleet.ParseAction(o.action)
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +98,78 @@ func fleetCmd(o fleetOpts) {
 	fmt.Printf("\nfleet telemetry:\n")
 	col.Registry.WriteProm(os.Stdout)
 	if rep.Aborted {
+		os.Exit(1)
+	}
+}
+
+// fleetTop runs a checkpoint wave while sampling the fleet at a fixed
+// tick cadence — the operator's `top` view: per-node mode, lifecycle
+// state and deferral pressure, plus queue depth, slot usage and the p99
+// switch-latency tails from the obs histograms.
+func fleetTop(o fleetOpts) {
+	col := obs.New(1)
+	fc, err := fleet.New(fleet.Config{
+		Nodes:      o.nodes,
+		Node:       fleet.NodeConfig{Policy: o.policy, Pages: 32, RunLoad: o.load},
+		MaxVirtual: o.maxVirtual,
+		Collector:  col,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	interval := o.interval
+	if interval <= 0 {
+		interval = 8
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(s fleet.FleetSnap, final bool) {
+		if o.jsonOut {
+			if err := enc.Encode(s); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		states := map[string]int{}
+		for _, n := range s.PerNode {
+			states[n.State]++
+		}
+		fmt.Printf("tick %5d  virtual %d/%d  queue %d  slots %d/%d  maintained %d  p99 attach %.0f cyc  p99 detach %.0f cyc  events %d (%d dropped)\n",
+			s.Tick, s.Virtual, s.Nodes, s.QueueDepth, s.SlotsInUse, s.SlotsMax,
+			s.Maintained, s.P99AttachCyc, s.P99DetachCyc, s.EventsTotal, s.EventsDropped)
+		fmt.Printf("           states:")
+		for _, st := range []string{"serving", "draining", "maintaining", "healed", "failed"} {
+			if states[st] > 0 {
+				fmt.Printf(" %s=%d", st, states[st])
+			}
+		}
+		fmt.Println()
+		if final {
+			fmt.Printf("\n%6s %-8s %-16s %-12s %10s %8s %8s\n",
+				"node", "name", "mode", "state", "deferrals", "hosted", "load")
+			for _, n := range s.PerNode {
+				fmt.Printf("%6d %-8s %-16s %-12s %10d %8d %8.1f\n",
+					n.ID, n.Name, n.Mode, n.State, n.Deferrals, n.Hosted, n.Load)
+			}
+		}
+	}
+
+	fc.OnTick = func(now fleet.Tick) {
+		if int(now)%interval == 0 {
+			emit(fc.Snapshot(), false)
+		}
+	}
+	rep, err := fc.RunWave(fleet.WaveConfig{
+		Action:         fleet.ActionCheckpoint,
+		BatchSize:      o.batch,
+		ArrivalPerTick: o.arrival,
+		DeadlineTicks:  o.deadline,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wave: %v\n", err)
+	}
+	emit(fc.Snapshot(), true)
+	if rep == nil || rep.Aborted {
 		os.Exit(1)
 	}
 }

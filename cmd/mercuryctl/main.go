@@ -13,6 +13,11 @@
 //	                             # export Chrome trace_event JSON
 //	mercuryctl chaos -seed 42    # seeded fault-injection campaign:
 //	                             # episode table + dependability report
+//	mercuryctl fleet -nodes 50   # rolling-maintenance wave over a fleet
+//	mercuryctl fleet -action top # periodic per-node fleet snapshot
+//	mercuryctl events -kind admission-grant
+//	                             # flight-recorder dump, filterable by
+//	                             # kind/node, text or -json
 package main
 
 import (
@@ -52,9 +57,19 @@ func main() {
 	fleetMaxVirtual := subFlags.Int("maxvirtual", 0,
 		"fleet: virtual-mode concurrency bound (0 = derive from the capacity model)")
 	fleetAction := subFlags.String("action", "checkpoint",
-		"fleet: maintenance action, checkpoint or migrate")
+		"fleet: maintenance action (checkpoint or migrate), or top for the periodic fleet view")
 	fleetLoad := subFlags.Bool("load", false,
 		"fleet: run a dbench load on each node at boot")
+	fleetInterval := subFlags.Int("interval", 8,
+		"fleet -action top: ticks between snapshots")
+	jsonOut := subFlags.Bool("json", false,
+		"fleet -action top / events: emit JSON instead of text")
+	eventsKind := subFlags.String("kind", "",
+		"events: only show this event kind (e.g. mode-switch, admission-grant)")
+	eventsNode := subFlags.Int("node", -2,
+		"events: only show this node's events (-1 = fleet-level, -2 = all)")
+	eventsLast := subFlags.Int("last", 0,
+		"events: only show the newest N matching events (0 = all)")
 	if sub != "" {
 		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
@@ -82,6 +97,22 @@ func main() {
 			action:     *fleetAction,
 			load:       *fleetLoad,
 			policy:     pol,
+			interval:   *fleetInterval,
+			jsonOut:    *jsonOut,
+		})
+		return
+	}
+	if sub == "events" {
+		eventsCmd(eventsOpts{
+			nodes:    *fleetNodes,
+			batch:    *fleetBatch,
+			deadline: *fleetDeadline,
+			action:   *fleetAction,
+			policy:   pol,
+			kind:     *eventsKind,
+			node:     *eventsNode,
+			last:     *eventsLast,
+			jsonOut:  *jsonOut,
 		})
 		return
 	}
@@ -109,7 +140,7 @@ func main() {
 		case "trace":
 			traceCmd(mc, col, *out)
 		default:
-			log.Fatalf("unknown subcommand %q (want stats, trace, chaos or fleet)", sub)
+			log.Fatalf("unknown subcommand %q (want stats, trace, chaos, fleet or events)", sub)
 		}
 		return
 	}

@@ -85,6 +85,54 @@ func WritePhaseBreakdown(w io.Writer, col *obs.Collector, hz uint64) {
 	}
 }
 
+// TraceHealth summarizes a collector's instrumentation losses: what the
+// bounded buffers had to drop to stay allocation-light. Non-zero values
+// do not invalidate a run, but they mean the trace and flight recorder
+// are partial views and bigger rings (or shorter runs) are needed for a
+// complete one.
+type TraceHealth struct {
+	SpansDropped  uint64 `json:"spans_dropped"`
+	EventsDropped uint64 `json:"events_dropped"`
+	// TraceRingDropped is the xen TraceBuffer's overwrite count
+	// (xen/trace_ring_dropped_total), zero when no VMM ever booted.
+	TraceRingDropped uint64 `json:"trace_ring_dropped"`
+}
+
+// CollectTraceHealth reads the drop counters off one collector.
+func CollectTraceHealth(col *obs.Collector) TraceHealth {
+	th := TraceHealth{}
+	if col == nil {
+		return th
+	}
+	if col.Tracer != nil {
+		th.SpansDropped = col.Tracer.Dropped()
+	}
+	if col.Events != nil {
+		th.EventsDropped = col.Events.Dropped()
+	}
+	// Read through the registry: the VMM adopts its ring counter there
+	// at boot, so this sees drops without a handle on the VMM itself.
+	th.TraceRingDropped = col.Registry.Counter("xen", "trace_ring_dropped_total").Load()
+	return th
+}
+
+// WriteTraceHealth renders one collector's drop summary.
+func WriteTraceHealth(w io.Writer, name string, col *obs.Collector) {
+	th := CollectTraceHealth(col)
+	fmt.Fprintf(w, "trace health %s: %d spans dropped, %d events dropped, %d trace-ring entries dropped\n",
+		name, th.SpansDropped, th.EventsDropped, th.TraceRingDropped)
+}
+
+// WriteTraceHealthSet renders the drop summary of every configuration
+// in a collector set.
+func (cs *CollectorSet) WriteTraceHealth(w io.Writer) {
+	keys := cs.Keys()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		WriteTraceHealth(w, string(key), cs.cols[key])
+	}
+}
+
 // MetricDumpSet holds one JSON metric dump per configuration.
 type MetricDumpSet map[SystemKey][]obs.MetricDump
 

@@ -95,6 +95,11 @@ type Mercury struct {
 
 	Policy TrackingPolicy
 
+	// NodeID attributes this system's flight-recorder events to a fleet
+	// node; -1 (the default) marks a standalone system. The fleet
+	// controller sets it right after boot.
+	NodeID int32
+
 	mode atomic.Int32
 
 	// pending is the requested transition, consumed by the interrupt
@@ -136,6 +141,7 @@ type coreObs struct {
 	evacs     *obs.Counter
 	attachCyc *obs.Histogram
 	detachCyc *obs.Histogram
+	events    *obs.EventLog // nil for hand-built collectors without one
 }
 
 // tel returns the cached telemetry handles, or nil when no collector
@@ -159,10 +165,21 @@ func (mc *Mercury) tel() *coreObs {
 			evacs:     r.Counter("core", "evacuations_total"),
 			attachCyc: r.Histogram("core", "attach_cycles"),
 			detachCyc: r.Histogram("core", "detach_cycles"),
+			events:    col.Events,
 		}
 		mc.obsCache.Store(h)
 	}
 	return h
+}
+
+// event records a flight-recorder entry on the installed collector's
+// event log, attributed to this system's node. h may be nil (no
+// collector) and h.events may be nil (hand-built collector).
+func (mc *Mercury) event(h *coreObs, kind obs.EventKind, ts, a, b uint64) {
+	if h == nil || h.events == nil {
+		return
+	}
+	h.events.Record(kind, mc.NodeID, ts, a, b)
 }
 
 // telCol returns the collector for span creation, or nil.
@@ -258,6 +275,7 @@ func New(cfg Config) (*Mercury, error) {
 		NativeVO:  nat,
 		VirtualVO: vo.NewVirtual(v, dom),
 		Policy:    cfg.Policy,
+		NodeID:    -1,
 	}
 	if cfg.ShadowPaging {
 		if len(m.CPUs) > 1 {

@@ -101,6 +101,7 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 		if h != nil {
 			h.failed.Inc()
 		}
+		mc.event(h, obs.EvSwitchFailed, c.Now(), uint64(target), 0)
 		mc.setLastError(err)
 		mc.smp.target.Store(int32(mc.Mode())) // APs reload the old mode
 		mc.pending.Store(-1)
@@ -110,6 +111,7 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 		return
 	}
 	root.EndArg(c.Now(), 0)
+	mc.event(h, obs.EvModeSwitch, c.Now(), uint64(target), c.Now()-start)
 	mc.setLastError(nil)
 	if mc.VMM.Trace != nil {
 		if target == ModeNative {
@@ -133,12 +135,15 @@ func (mc *Mercury) deferSwitch(c *hw.CPU, h *coreObs, target Mode) {
 		h.deferred.Inc()
 		h.col.Tracer.Instant(c.ID, c.Now(), "switch/deferred", uint64(target))
 	}
+	mc.event(h, obs.EvSwitchDeferred, c.Now(), uint64(target),
+		uint64(mc.deferrals.Load()+1))
 	if n := mc.deferrals.Add(1); n >= mc.maxDeferrals {
 		mc.Stats.StarvedSwitches.Add(1)
 		if h != nil {
 			h.starved.Inc()
 			h.col.Tracer.Instant(c.ID, c.Now(), "switch/starved", uint64(target))
 		}
+		mc.event(h, obs.EvSwitchStarved, c.Now(), uint64(target), uint64(n))
 		mc.setLastError(fmt.Errorf(
 			"core: switch to %v starved by sensitive code (%d deferrals)",
 			target, n))

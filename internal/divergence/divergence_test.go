@@ -1,0 +1,181 @@
+package divergence
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDeterministicExactRows: two runs with the same seed must agree on
+// every exact probe bit-for-bit — that is the property that lets CI
+// diff a committed baseline at all.
+func TestDeterministicExactRows(t *testing.T) {
+	cfg := Config{Seed: 11, Ops: 100}
+	a, b := run(t, cfg), run(t, cfg)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Metric != rb.Metric {
+			t.Fatalf("row %d: metric %q vs %q", i, ra.Metric, rb.Metric)
+		}
+		if !ra.Exact {
+			continue
+		}
+		if ra.NL != rb.NL || ra.MN != rb.MN || ra.MV != rb.MV {
+			t.Errorf("exact row %s not reproducible: %+v vs %+v", ra.Metric, ra, rb)
+		}
+	}
+	for i := range a.Switches {
+		sa, sb := a.Switches[i], b.Switches[i]
+		if sa.Attaches != sb.Attaches || sa.Detaches != sb.Detaches {
+			t.Errorf("switch %s: counts differ across runs", sa.Policy)
+		}
+		if (sa.Journal == nil) != (sb.Journal == nil) {
+			t.Fatalf("switch %s: journal presence differs", sa.Policy)
+		}
+		if sa.Journal != nil && *sa.Journal != *sb.Journal {
+			t.Errorf("switch %s: journal %+v vs %+v", sa.Policy, *sa.Journal, *sb.Journal)
+		}
+	}
+}
+
+// TestNativeTaxWithinPaperClaim: the whole point of the observatory —
+// Mercury's native mode must track native Linux to a few percent.
+func TestNativeTaxWithinPaperClaim(t *testing.T) {
+	rep := run(t, Config{Seed: 11, Ops: 100})
+	if rep.NativeTaxPct > 3.0 {
+		t.Errorf("native tax %.2f%% exceeds the paper's ~2-3%% claim", rep.NativeTaxPct)
+	}
+	if rep.NativeTaxPct < -3.0 {
+		t.Errorf("native tax %.2f%% is implausibly negative", rep.NativeTaxPct)
+	}
+	// Virtual mode must actually cost something, or the probes are not
+	// measuring anything.
+	if rep.VirtualTaxPct <= rep.NativeTaxPct {
+		t.Errorf("virtual tax %.2f%% <= native tax %.2f%%",
+			rep.VirtualTaxPct, rep.NativeTaxPct)
+	}
+}
+
+// TestCompareSelf: a report diffed against itself is clean, including
+// with a budget set at the measured value.
+func TestCompareSelf(t *testing.T) {
+	rep := run(t, Config{Seed: 11, Ops: 100})
+	base := *rep
+	base.NativeTaxBudgetPct = rep.NativeTaxPct + 0.5
+	if v := Compare(&base, rep); len(v) != 0 {
+		t.Fatalf("self-compare not clean: %v", v)
+	}
+}
+
+// TestCompareDetectsPerturbations: exact-count drift, removed rows,
+// cycle drift beyond tolerance, journal changes, and a blown tax budget
+// must each produce a violation.
+func TestCompareDetectsPerturbations(t *testing.T) {
+	rep := run(t, Config{Seed: 11, Ops: 100})
+	base := *rep
+	base.NativeTaxBudgetPct = rep.NativeTaxPct + 0.5
+
+	perturb := func(mut func(r *Report)) []string {
+		cp := *rep
+		cp.Rows = append([]Row(nil), rep.Rows...)
+		cp.Switches = append([]SwitchProbe(nil), rep.Switches...)
+		mut(&cp)
+		return Compare(&base, &cp)
+	}
+
+	if v := perturb(func(r *Report) { r.Rows[1].MN++ }); len(v) == 0 {
+		t.Error("exact-count drift not detected")
+	}
+	if v := perturb(func(r *Report) { r.Rows = r.Rows[1:] }); len(v) == 0 {
+		t.Error("removed row not detected")
+	}
+	if v := perturb(func(r *Report) { r.Rows[0].MV *= 2 }); len(v) == 0 {
+		t.Error("cycle drift beyond tolerance not detected")
+	}
+	if v := perturb(func(r *Report) { r.NativeTaxPct = base.NativeTaxBudgetPct + 1 }); len(v) == 0 {
+		t.Error("blown native-tax budget not detected")
+	}
+	if v := perturb(func(r *Report) {
+		for i := range r.Switches {
+			if r.Switches[i].Journal != nil {
+				j := *r.Switches[i].Journal
+				j.Replays++
+				r.Switches[i].Journal = &j
+			}
+		}
+	}); len(v) == 0 {
+		t.Error("journal activity change not detected")
+	}
+}
+
+// TestCompareRejectsWorkloadMismatch: different seed or length is a
+// category error, not a drift.
+func TestCompareRejectsWorkloadMismatch(t *testing.T) {
+	a := &Report{Schema: ReportSchema, Seed: 1, Ops: 100}
+	b := &Report{Schema: ReportSchema, Seed: 2, Ops: 100}
+	if v := Compare(a, b); len(v) != 1 || !strings.Contains(v[0], "workload mismatch") {
+		t.Fatalf("want a single workload-mismatch violation, got %v", v)
+	}
+}
+
+// TestBaselineRoundTrip: WriteJSON → LoadReport is lossless enough for
+// Compare, and LoadReport rejects foreign schemas.
+func TestBaselineRoundTrip(t *testing.T) {
+	rep := run(t, Config{Seed: 11, Ops: 100})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.NativeTaxBudgetPct = rep.NativeTaxPct + 0.5
+	if v := Compare(back, rep); len(v) != 0 {
+		t.Fatalf("round-tripped baseline not clean: %v", v)
+	}
+
+	bad := bytes.Replace(buf.Bytes(), []byte(`"schema": 1`), []byte(`"schema": 99`), 1)
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+// TestRenderers: the markdown table carries every row and the switch
+// decomposition; the text renderer mentions both policies.
+func TestRenderers(t *testing.T) {
+	rep := run(t, Config{Seed: 11, Ops: 100})
+	var md bytes.Buffer
+	rep.WriteMarkdown(&md)
+	s := md.String()
+	if !strings.Contains(s, "| metric | N-L | M-N | M-V |") {
+		t.Error("markdown missing transparency table header")
+	}
+	for _, row := range rep.Rows {
+		if !strings.Contains(s, "| "+row.Metric+" |") {
+			t.Errorf("markdown missing row %s", row.Metric)
+		}
+	}
+	if !strings.Contains(s, "recompute") || !strings.Contains(s, "journal") {
+		t.Error("markdown missing switch probes")
+	}
+
+	var txt bytes.Buffer
+	rep.WriteText(&txt)
+	if !strings.Contains(txt.String(), "switch[recompute]") ||
+		!strings.Contains(txt.String(), "switch[journal]") {
+		t.Error("text renderer missing switch probes")
+	}
+}

@@ -1,0 +1,79 @@
+package divergence
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guest"
+	"repro/internal/hw"
+)
+
+// Workload is the seeded operation mix the observatory replays on every
+// configuration. Identical seeds produce identical operation sequences,
+// so every logical kernel event (syscall, fork, page fault, PTE write)
+// happens the same number of times regardless of which system runs it —
+// that is what makes the exact-probe comparison meaningful.
+type Workload struct {
+	Seed int64
+	Ops  int
+}
+
+// workload op classes, weighted toward the memory and file operations
+// whose costs diverge most between native and virtual mode.
+const (
+	opFile = iota // creat/write/read/close on a fresh file
+	opMmap        // mmap/touch/munmap an anonymous region
+	opFork        // fork a child that faults a small working set
+	opWork        // pure user-mode computation
+	opOps         // number of op classes
+)
+
+// Body returns the workload as a spawnable process body.
+func (w Workload) Body() guest.Body {
+	seed, ops := w.Seed, w.Ops
+	return func(p *guest.Proc) {
+		p.Syscall(func(c *hw.CPU) {
+			if _, err := p.K.FS.Mkdir(c, "/div"); err != nil {
+				panic(fmt.Sprintf("divergence: mkdir /div: %v", err))
+			}
+		})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(opOps) {
+			case opFile:
+				path := fmt.Sprintf("/div/f%d", i)
+				fd, err := p.Creat(path)
+				if err != nil {
+					panic(fmt.Sprintf("divergence: creat %s: %v", path, err))
+				}
+				kb := 1 + rng.Intn(8)
+				p.Write(fd, kb<<10)
+				p.Seek(fd, 0)
+				p.Read(fd, kb<<10)
+				p.Close(fd)
+				if err := p.Unlink(path); err != nil {
+					panic(fmt.Sprintf("divergence: unlink %s: %v", path, err))
+				}
+			case opMmap:
+				pages := 1 + rng.Intn(8)
+				base := p.Mmap(pages, guest.ProtRead|guest.ProtWrite, false)
+				p.Touch(base, pages, true) // demand-fault every page
+				p.Touch(base, pages, false)
+				p.Munmap(base)
+			case opFork:
+				pages := 1 + rng.Intn(4)
+				p.Fork("div-child", func(cp *guest.Proc) {
+					base := cp.Mmap(pages, guest.ProtRead|guest.ProtWrite, false)
+					cp.Touch(base, pages, true)
+					cp.Work(2_000)
+					cp.Munmap(base)
+					cp.Exit(0)
+				})
+				p.Wait()
+			case opWork:
+				p.Work(hw.Cycles(1_000 + rng.Intn(4_000)))
+			}
+		}
+		p.Exit(0)
+	}
+}

@@ -84,6 +84,16 @@ type Controller struct {
 	col *obs.Collector
 	now Tick
 
+	// events is the fleet flight recorder (the collector's event log);
+	// nil without a collector.
+	events *obs.EventLog
+
+	// OnTick, when set, runs after every fleet tick inside RunWave —
+	// the hook the `mercuryctl fleet -action top` view uses to sample
+	// fleet state at a fixed cadence. It runs on the controller's
+	// single-threaded tick loop; keep it cheap.
+	OnTick func(now Tick)
+
 	// Telemetry.
 	waveProgress *obs.Gauge
 	waveBatch    *obs.Gauge
@@ -116,9 +126,14 @@ func New(cfg Config) (*Controller, error) {
 		cfg.QueueCap = 2 * cfg.Nodes
 	}
 	fc := &Controller{cfg: cfg, col: cfg.Collector}
+	if cfg.Collector != nil {
+		fc.events = cfg.Collector.Events
+	}
 	fc.Adm = NewAdmission(cfg.MaxVirtual, cfg.QueueCap, cfg.Collector)
+	ncfg := cfg.Node
+	ncfg.Collector = cfg.Collector
 	for i := 0; i < cfg.Nodes; i++ {
-		n, err := NewNode(NodeID(i), cfg.Node)
+		n, err := NewNode(NodeID(i), ncfg)
 		if err != nil {
 			return nil, err
 		}
@@ -161,6 +176,15 @@ func (fc *Controller) CheckFleetInvariants() error {
 		}
 	}
 	return nil
+}
+
+// event records a fleet-level flight-recorder entry stamped with the
+// fleet clock. No-op without a collector.
+func (fc *Controller) event(kind obs.EventKind, node int32, a, b uint64) {
+	if fc.events == nil {
+		return
+	}
+	fc.events.Record(kind, node, uint64(fc.now), a, b)
 }
 
 // VirtualNodes counts nodes currently in a non-native mode.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/hw"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 	"repro/internal/xen"
 )
@@ -89,6 +90,12 @@ type NodeConfig struct {
 	// this small: a wedged node should fail its wave quickly rather
 	// than hold an admission slot while it spins.
 	MaxDeferrals int
+	// Collector, when non-nil, is installed on the node's machine before
+	// boot: node-level instrumentation (vo objects, the VMM, the switch
+	// ISR's flight-recorder events) then lands in the fleet's shared
+	// collector, attributed by node ID. The controller fills this from
+	// its own Config.Collector.
+	Collector *obs.Collector
 }
 
 // NewNode boots one fleet node: machine, pre-cached VMM, kernel — and,
@@ -99,12 +106,16 @@ func NewNode(id NodeID, cfg NodeConfig) (*Node, error) {
 	}
 	name := fmt.Sprintf("node%d", id)
 	m := hw.NewMachine(hw.Config{Name: name, MemBytes: cfg.MemBytes, NumCPUs: 1})
+	if cfg.Collector != nil {
+		m.SetTelemetry(cfg.Collector)
+	}
 	mc, err := core.New(core.Config{
 		Machine: m, Policy: cfg.Policy, MaxDeferrals: cfg.MaxDeferrals,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: booting %s: %w", name, err)
 	}
+	mc.NodeID = int32(id)
 	// Bind the kernel to the machine's devices so workloads (and any
 	// filesystem history they leave behind) run against a real disk.
 	mc.K.Blk = &guest.NativeBlock{K: mc.K, Disk: m.Disk}

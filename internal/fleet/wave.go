@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // WaveConfig shapes one rolling-maintenance wave.
@@ -112,17 +113,22 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 	if fc.waveProgress != nil {
 		fc.waveProgress.Set(0)
 	}
+	fc.event(obs.EvWaveStart, -1, uint64(len(fc.Nodes)), uint64(cfg.BatchSize))
 
 	// releases maps a future tick to the requests whose slots free then.
 	releases := map[Tick][]NodeID{}
+	curBatch := 0
 
 	abort := func(n *Node, why error) (*WaveReport, error) {
 		rep.Aborted = true
 		rep.AbortReason = why.Error()
+		failed := int32(-1)
 		if n != nil {
 			rep.FailedNode = n.ID
 			n.state = NodeFailed
+			failed = int32(n.ID)
 		}
+		fc.event(obs.EvWaveAbort, failed, uint64(curBatch), 0)
 		if fc.waveAborts != nil {
 			fc.waveAborts.Inc()
 		}
@@ -156,6 +162,7 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 		if hi > len(fc.Nodes) {
 			hi = len(fc.Nodes)
 		}
+		curBatch = bi
 		batch := BatchReport{Index: bi, StartTick: fc.now}
 		if fc.waveBatch != nil {
 			fc.waveBatch.Set(int64(bi))
@@ -191,6 +198,7 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 				}
 				if !fc.Adm.Submit(req) {
 					// Backpressure: retry next tick, nodes stay ordered.
+					fc.event(obs.EvAdmissionReject, int32(n.ID), 0, 0)
 					n.state = NodeServing
 					break
 				}
@@ -203,6 +211,8 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 			for _, req := range expired {
 				node := fc.Nodes[req.Node]
 				node.state = NodeServing // never admitted; keeps serving
+				fc.event(obs.EvAdmissionExpire, int32(node.ID),
+					uint64(fc.now-req.EnqueuedAt), 0)
 				batch.Expired++
 				rep.Expired++
 				doneInBatch++
@@ -210,13 +220,32 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 			for _, req := range granted {
 				node := fc.Nodes[req.Node]
 				node.state = NodeMaintaining
+				fc.event(obs.EvAdmissionGrant, int32(node.ID),
+					uint64(fc.now-req.EnqueuedAt), 0)
 				nrep := NodeReport{Node: node.ID, Batch: bi,
 					EnqueuedAt: req.EnqueuedAt, GrantedAt: fc.now}
 				if err := node.maintain(cfg.Action, fc.cfg.Node.Pages,
 					fc.Standby, fc.PreAttach, &nrep); err != nil {
 					rep.PerNode = append(rep.PerNode, nrep)
+					if cfg.Action == ActionMigrate && nrep.ActionCyc > 0 && !nrep.Migrated {
+						fc.event(obs.EvMigrationRollback, int32(node.ID), 0, 0)
+					}
+					if nrep.DetachCyc > 0 {
+						// The pipeline reached detach before dying: a
+						// failed heal, not a failed attach or action.
+						fc.event(obs.EvHealFail, int32(node.ID), 0, 0)
+					}
 					return abort(node, err)
 				}
+				if nrep.ImagePages > 0 {
+					fc.event(obs.EvCheckpointDone, int32(node.ID),
+						uint64(nrep.ImagePages), 0)
+				}
+				if nrep.Migrated {
+					fc.event(obs.EvMigrationCommit, int32(node.ID),
+						uint64(nrep.DowntimeCyc), 0)
+				}
+				fc.event(obs.EvHealOK, int32(node.ID), 0, 0)
 				node.state = NodeHealed
 				rel := fc.now + serviceTicks(node, &nrep)
 				nrep.ReleasedAt = rel
@@ -237,6 +266,9 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 				}
 			}
 
+			if fc.OnTick != nil {
+				fc.OnTick(fc.now)
+			}
 			fc.now++
 		}
 		batch.EndTick = fc.now
@@ -254,6 +286,7 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 	}
 	rep.Ticks = fc.now - start
 	rep.Admission = fc.Adm.Stats()
+	fc.event(obs.EvWaveDone, -1, uint64(rep.Completed), uint64(rep.Ticks))
 	var at, dt, ac hw.Cycles
 	done := 0
 	for i := range rep.PerNode {

@@ -13,7 +13,12 @@ import (
 // and the cores rendezvous on shared counters.
 type LAPIC struct {
 	mu      sync.Mutex
-	pending []int // FIFO of pending vectors
+	pending []pendingVec // FIFO of pending vectors
+
+	// clk is the owning CPU's clock (the shared TSC timebase), read to
+	// stamp each posted vector so delivery latency is observable; nil in
+	// hand-built test fixtures, where posts go unstamped.
+	clk *Clock
 
 	// One-shot local timer: fires vector timerVec when the owning CPU's
 	// clock reaches deadline.
@@ -30,15 +35,27 @@ type LAPIC struct {
 	dropped  atomic.Uint64
 }
 
+// pendingVec is one queued vector plus the TSC reading at its post, the
+// start point of the interrupt-delivery latency measurement.
+type pendingVec struct {
+	vec    int
+	posted Cycles
+}
+
 // Post queues vector for delivery to the owning CPU. Safe to call from
-// any goroutine.
+// any goroutine (the TSC is synchronized across cores, so a cross-CPU
+// post stamp and the owner's delivery clock share a timebase).
 func (l *LAPIC) Post(vector int) {
 	if l.dropNext.CompareAndSwap(true, false) {
 		l.dropped.Add(1)
 		return
 	}
+	var ts Cycles
+	if l.clk != nil {
+		ts = l.clk.Read()
+	}
 	l.mu.Lock()
-	l.pending = append(l.pending, vector)
+	l.pending = append(l.pending, pendingVec{vec: vector, posted: ts})
 	l.mu.Unlock()
 }
 
@@ -56,16 +73,17 @@ func (l *LAPIC) ClearDropped() uint64 {
 	return l.dropped.Swap(0)
 }
 
-// take removes and returns the next pending vector.
-func (l *LAPIC) take() (int, bool) {
+// take removes and returns the next pending vector plus its post stamp
+// (0 when the LAPIC has no clock).
+func (l *LAPIC) take() (vec int, posted Cycles, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.pending) == 0 {
-		return 0, false
+		return 0, 0, false
 	}
-	v := l.pending[0]
+	p := l.pending[0]
 	l.pending = l.pending[1:]
-	return v, true
+	return p.vec, p.posted, true
 }
 
 // HasPending reports whether any vector is waiting.
@@ -91,15 +109,16 @@ func (l *LAPIC) DisarmTimer() {
 	l.mu.Unlock()
 }
 
-// timerDue pops the timer vector if the deadline has passed.
-func (l *LAPIC) timerDue(now Cycles) (int, bool) {
+// timerDue pops the timer vector if the deadline has passed, returning
+// the armed deadline so delivery jitter (now − deadline) is observable.
+func (l *LAPIC) timerDue(now Cycles) (vec int, deadline Cycles, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.timerArmed && now >= l.timerDeadline {
 		l.timerArmed = false
-		return l.timerVec, true
+		return l.timerVec, l.timerDeadline, true
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // NextTimerDeadline returns the armed deadline, if any. The idle loop uses

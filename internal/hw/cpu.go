@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // CPU is one simulated processor. All guest-kernel, VMM and Mercury code
@@ -46,6 +48,13 @@ type CPU struct {
 
 	// sinceThrottle accumulates charged cycles between lockstep checks.
 	sinceThrottle Cycles
+
+	// irqCol/irqLat cache the interrupt-delivery latency histogram for
+	// the installed collector. Only the owning goroutine touches them
+	// (PollInterrupts runs on the CPU's driver), so no atomics needed;
+	// the disabled path is the machine's one atomic telemetry load.
+	irqCol *obs.Collector
+	irqLat *obs.Histogram
 
 	// Statistics.
 	Stats CPUStats
@@ -149,12 +158,35 @@ func (c *CPU) PollInterrupts() {
 	if !c.IF || c.intrDepth > 0 {
 		return
 	}
-	if v, ok := c.LAPIC.timerDue(c.Clk.Read()); ok {
+	now := c.Clk.Read()
+	if v, deadline, ok := c.LAPIC.timerDue(now); ok {
+		c.observeIRQLatency(now, deadline)
 		c.deliver(v, &TrapFrame{Vector: v})
 		return
 	}
-	if v, ok := c.LAPIC.take(); ok {
+	if v, posted, ok := c.LAPIC.take(); ok {
+		if posted > 0 {
+			c.observeIRQLatency(now, posted)
+		}
 		c.deliver(v, &TrapFrame{Vector: v})
+	}
+}
+
+// observeIRQLatency records the cycles between an interrupt becoming
+// deliverable (its LAPIC post, or the armed timer deadline) and the
+// poll that delivers it — the delivery-latency jitter a virtualized
+// kernel cannot hide (interrupts detour through the VMM's event path).
+func (c *CPU) observeIRQLatency(now, since Cycles) {
+	col := c.M.Telemetry()
+	if col == nil {
+		return
+	}
+	if c.irqCol != col {
+		c.irqCol = col
+		c.irqLat = col.Registry.Histogram("hw", "irq_delivery_cycles")
+	}
+	if now >= since {
+		c.irqLat.Observe(now - since)
 	}
 }
 

@@ -89,12 +89,13 @@ func NewMachine(cfg Config) *Machine {
 	m.IOAPIC = NewIOAPIC(m)
 	m.Frames = NewFrameAllocator(1, m.Mem.NumFrames()) // frame 0 reserved
 	for i := 0; i < cfg.NumCPUs; i++ {
+		clk := NewClock(cfg.Hz)
 		c := &CPU{
 			ID:    i,
 			M:     m,
-			Clk:   NewClock(cfg.Hz),
+			Clk:   clk,
 			TLB:   NewTLB(cfg.TLBSize),
-			LAPIC: &LAPIC{},
+			LAPIC: &LAPIC{clk: clk},
 			CPL:   PL0,
 			IF:    false,
 		}

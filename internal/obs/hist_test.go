@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1000)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		got := h.Quantile(q)
+		// One observation: every quantile lands in its bucket
+		// [512, 1024) at log-scale resolution, never above the max.
+		if got < 512 || got > 1000 {
+			t.Fatalf("Quantile(%v) = %v, want within [512, 1000]", q, got)
+		}
+	}
+}
+
+func TestQuantileAllInOneBucket(t *testing.T) {
+	h := NewHistogram()
+	// 1000..1023 all land in bucket [512, 1024).
+	for v := uint64(1000); v < 1024; v++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+		got := h.Quantile(q)
+		if got < 512 || got > 1023 {
+			t.Fatalf("Quantile(%v) = %v, want within bucket [512, 1023]", q, got)
+		}
+	}
+	if got := h.Quantile(1.0); got > float64(h.Max()) {
+		t.Fatalf("Quantile(1.0) = %v exceeds max %d", got, h.Max())
+	}
+}
+
+func TestQuantileQ1NeverExceedsMax(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{1, 7, 90, 3000, 1 << 20} {
+		h.Observe(v)
+	}
+	if got, max := h.Quantile(1.0), float64(h.Max()); got > max {
+		t.Fatalf("Quantile(1.0) = %v exceeds max %v", got, max)
+	}
+}
+
+func TestQuantileMonotoneUnderRandomStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram()
+		n := 1 + rng.Intn(4000)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes so observations spread across buckets.
+			h.Observe(uint64(rng.Int63n(1 << uint(1+rng.Intn(40)))))
+		}
+		p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+		if p50 > p95 || p95 > p99 {
+			t.Fatalf("trial %d (n=%d): quantiles not monotone: p50=%v p95=%v p99=%v",
+				trial, n, p50, p95, p99)
+		}
+		if p99 > float64(h.Max()) {
+			t.Fatalf("trial %d: p99=%v exceeds max=%d", trial, p99, h.Max())
+		}
+	}
+}

@@ -1,18 +1,27 @@
 package obs
 
-// Collector bundles the metric registry and the span tracer that one
-// machine's instrumentation feeds.
+// Collector bundles the metric registry, the span tracer, and the
+// flight-recorder event log that one machine's (or one fleet's)
+// instrumentation feeds.
 type Collector struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Events   *EventLog
 }
 
-// New builds a collector for a machine with ncpu processors.
+// New builds a collector for a machine with ncpu processors. The
+// tracer's and event log's drop counts are adopted into the registry
+// (obs/spans_dropped_total, obs/events_dropped_total) so every metrics
+// export reports whether its traces are complete.
 func New(ncpu int) *Collector {
-	return &Collector{
+	col := &Collector{
 		Registry: NewRegistry(),
 		Tracer:   NewTracer(ncpu, 0),
+		Events:   NewEventLog(0),
 	}
+	col.Registry.RegisterCounter(col.Tracer.dropped, "obs", "spans_dropped_total")
+	col.Registry.RegisterCounter(col.Events.dropped, "obs", "events_dropped_total")
+	return col
 }
 
 // Begin opens a span on a possibly-nil collector; the zero SpanRef is
@@ -22,4 +31,13 @@ func Begin(col *Collector, cpu int, now uint64, name string) SpanRef {
 		return SpanRef{}
 	}
 	return col.Tracer.Begin(cpu, now, name)
+}
+
+// RecordEvent appends a flight-recorder event on a possibly-nil
+// collector (or one built by hand without an event log).
+func RecordEvent(col *Collector, kind EventKind, node int32, ts, a, b uint64) {
+	if col == nil || col.Events == nil {
+		return
+	}
+	col.Events.Record(kind, node, ts, a, b)
 }

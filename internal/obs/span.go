@@ -53,12 +53,16 @@ const DefaultTraceSpans = 1 << 17
 // phase is attributed to that phase without the call sites knowing
 // about each other.
 type Tracer struct {
-	mu      sync.Mutex
-	nextID  uint64
-	spans   []Span
-	stacks  [][]openSpan
-	max     int
-	dropped uint64
+	mu     sync.Mutex
+	nextID uint64
+	spans  []Span
+	stacks [][]openSpan
+	max    int
+	// dropped is a free-standing counter so a collector can adopt it
+	// into its registry (obs/spans_dropped_total): a truncated trace is
+	// then visible in every metrics export, not just to callers who
+	// think to ask Dropped().
+	dropped *Counter
 }
 
 // NewTracer builds a tracer for ncpu processors retaining at most max
@@ -70,7 +74,7 @@ func NewTracer(ncpu, max int) *Tracer {
 	if max <= 0 {
 		max = DefaultTraceSpans
 	}
-	return &Tracer{stacks: make([][]openSpan, ncpu), max: max}
+	return &Tracer{stacks: make([][]openSpan, ncpu), max: max, dropped: NewCounter()}
 }
 
 // SpanRef is a handle to an open span. The zero SpanRef (from a nil
@@ -155,7 +159,7 @@ func (t *Tracer) Instant(cpu int, now uint64, name string, arg uint64) {
 // finishLocked appends a finished span, dropping when over budget.
 func (t *Tracer) finishLocked(s Span) {
 	if len(t.spans) >= t.max {
-		t.dropped++
+		t.dropped.Inc()
 		return
 	}
 	t.spans = append(t.spans, s)
@@ -177,16 +181,15 @@ func (t *Tracer) Spans() []Span {
 
 // Dropped returns how many finished spans were discarded once the
 // retention budget filled.
-func (t *Tracer) Dropped() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
-}
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
+
+// DroppedCounter returns the underlying counter, for registry adoption.
+func (t *Tracer) DroppedCounter() *Counter { return t.dropped }
 
 // Reset discards all finished spans (open stacks are kept).
 func (t *Tracer) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.spans = t.spans[:0]
-	t.dropped = 0
+	t.dropped.v.Store(0)
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // Event tracing in the style of xentrace: a fixed-size per-VMM ring of
@@ -72,7 +73,10 @@ type TraceBuffer struct {
 	buf     []TraceEvent
 	next    int
 	wrapped bool
-	dropped uint64
+	// dropped is a free-standing counter so a collector can adopt it
+	// (xen/trace_ring_dropped_total): ring wrap is data loss, and a
+	// bench run reporting a partial event table should say so.
+	dropped *obs.Counter
 }
 
 // DefaultTraceCap is the ring capacity.
@@ -83,8 +87,12 @@ func NewTraceBuffer(n int) *TraceBuffer {
 	if n <= 0 {
 		n = DefaultTraceCap
 	}
-	return &TraceBuffer{buf: make([]TraceEvent, n)}
+	return &TraceBuffer{buf: make([]TraceEvent, n), dropped: obs.NewCounter()}
 }
+
+// DroppedCounter returns the underlying drop counter, for registry
+// adoption.
+func (t *TraceBuffer) DroppedCounter() *obs.Counter { return t.dropped }
 
 // Enable starts recording.
 func (t *TraceBuffer) Enable() { t.enabled.Store(true) }
@@ -102,7 +110,7 @@ func (t *TraceBuffer) Emit(c *hw.CPU, kind TraceKind, dom DomID, arg uint64) {
 	if t.wrapped {
 		// The slot being written still holds a record no Snapshot has
 		// returned: overwriting it loses history.
-		t.dropped++
+		t.dropped.Inc()
 	}
 	t.buf[t.next] = ev
 	t.next++
@@ -134,16 +142,12 @@ func (t *TraceBuffer) SnapshotWithDropped() ([]TraceEvent, uint64) {
 	out = append(out, t.buf[:t.next]...)
 	t.next = 0
 	t.wrapped = false
-	return out, t.dropped
+	return out, t.dropped.Load()
 }
 
 // Dropped returns how many records were overwritten by ring wrap
 // before any Snapshot could return them.
-func (t *TraceBuffer) Dropped() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
-}
+func (t *TraceBuffer) Dropped() uint64 { return t.dropped.Load() }
 
 // traceEmit is the VMM-side helper (nil-safe).
 func (v *VMM) traceEmit(c *hw.CPU, kind TraceKind, d *Domain, arg uint64) {

@@ -128,6 +128,11 @@ func (v *VMM) tel() *vmmObs {
 			netTxPackets:   r.Counter("xen", "backend_packets_total", obs.L("dev", "net"), obs.L("dir", "tx")),
 			netRxPackets:   r.Counter("xen", "backend_packets_total", obs.L("dev", "net"), obs.L("dir", "rx")),
 		}
+		if v.Trace != nil {
+			// Adopt the trace ring's drop count so metrics exports flag
+			// xentrace data loss alongside the span-drop counter.
+			r.RegisterCounter(v.Trace.dropped, "xen", "trace_ring_dropped_total")
+		}
 		v.obsCache.Store(h)
 	}
 	return h
@@ -173,6 +178,11 @@ func Boot(m *hw.Machine) (*VMM, error) {
 	lo, hi := res.Range()
 	for pfn := lo; pfn < hi; pfn++ {
 		v.FT.SetOwner(pfn, DomVMM)
+	}
+	if col := m.Telemetry(); col != nil {
+		// Adopt the trace ring's drop count at boot, before any other
+		// path can get-or-create the identity with a detached counter.
+		col.Registry.RegisterCounter(v.Trace.dropped, "xen", "trace_ring_dropped_total")
 	}
 	v.GDT = hw.NewGDT("vmm", hw.PL1) // guests run deprivileged at PL1
 	v.IDT = hw.NewIDT("vmm")
