@@ -26,12 +26,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/divergence"
 	"repro/internal/hw"
+	"repro/internal/mc"
 	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, fleet, divergence, all")
+		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, fleet, divergence, mc, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
 	seed := flag.Int64("seed", 42, "chaos campaign seed")
 	episodes := flag.Int("episodes", 16, "chaos campaign episodes")
@@ -43,7 +44,7 @@ func main() {
 		"write machine-readable results: BENCH_switch.json (switchscale), BENCH_table1/2.json, BENCH_fig3/4.json")
 	jsonDir := flag.String("jsondir", ".", "directory for -json result files")
 	baseline := flag.String("baseline", "",
-		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate, BENCH_fleet.json for -exp fleet, BENCH_divergence.json for -exp divergence")
+		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate, BENCH_fleet.json for -exp fleet, BENCH_divergence.json for -exp divergence, BENCH_mc.json for -exp mc")
 	tolerance := flag.Float64("tolerance", 25,
 		"allowed per-point cycle deviation vs -baseline, percent")
 	policyName := flag.String("policy", "recompute",
@@ -374,6 +375,44 @@ func main() {
 			f.Close()
 			fmt.Printf("wrote %s\n", path)
 			bench.WriteTraceHealth(os.Stdout, "chaos", col)
+		}
+		fmt.Println()
+	}
+	if run("mc") {
+		any = true
+		// Load the committed baseline before writing the fresh suite:
+		// with -json both use the BENCH_mc.json name, and a compare
+		// against a just-overwritten file would always pass.
+		var mcBase *mc.Baseline
+		if *baseline != "" && strings.EqualFold(*exp, "mc") {
+			b, err := mc.LoadBaseline(*baseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mcBase = b
+		}
+		rows, err := mc.BenchSuite()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc.WriteBenchTable(os.Stdout, rows)
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, "BENCH_mc.json")
+			if err := mc.WriteBaseline(path, rows); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if mcBase != nil {
+			violations := mc.CompareBaseline(mcBase, rows)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "baseline breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s held exactly on all %d rows\n",
+				*baseline, len(rows))
 		}
 		fmt.Println()
 	}

@@ -18,6 +18,11 @@
 //	mercuryctl events -kind admission-grant
 //	                             # flight-recorder dump, filterable by
 //	                             # kind/node, text or -json
+//	mercuryctl mc                # model-check the mode-switch protocol:
+//	                             # exhaustive interleaving exploration
+//	mercuryctl mc -seed-bug toctou -expect commit-with-refcount-held -trace
+//	                             # rediscover a seeded regression and
+//	                             # replay its minimal counterexample
 package main
 
 import (
@@ -63,13 +68,27 @@ func main() {
 	fleetInterval := subFlags.Int("interval", 8,
 		"fleet -action top: ticks between snapshots")
 	jsonOut := subFlags.Bool("json", false,
-		"fleet -action top / events: emit JSON instead of text")
+		"fleet -action top / events / mc: emit JSON instead of text")
 	eventsKind := subFlags.String("kind", "",
 		"events: only show this event kind (e.g. mode-switch, admission-grant)")
 	eventsNode := subFlags.Int("node", -2,
 		"events: only show this node's events (-1 = fleet-level, -2 = all)")
 	eventsLast := subFlags.Int("last", 0,
 		"events: only show the newest N matching events (0 = all)")
+	mcCPUs := subFlags.Int("cpus", 2, "mc: CPUs in the reduced machine (CPU 0 is the CP)")
+	mcWorkers := subFlags.Int("workers", 2, "mc: concurrent VO operations")
+	mcOps := subFlags.Int("ops", 2, "mc: enter/write/exit rounds per worker")
+	mcSwitches := subFlags.Int("switches", 3, "mc: mode-switch requests to raise")
+	mcDeferrals := subFlags.Int("deferrals", 2, "mc: retry budget (MaxDeferrals)")
+	mcDepth := subFlags.Int("depth", 0, "mc: exploration depth bound (0 = default)")
+	mcBug := subFlags.String("seed-bug", "none",
+		"mc: seeded regression to plant (none, toctou, rendezvous)")
+	mcNoJournal := subFlags.Bool("nojournal", false, "mc: disable the dirty-journal model")
+	mcDPOR := subFlags.Bool("dpor", false, "mc: enable sleep-set partial-order pruning")
+	mcTrace := subFlags.Bool("trace", false,
+		"mc: replay the counterexample through the flight recorder, step by step")
+	mcExpect := subFlags.String("expect", "none",
+		"mc: expected verdict for the exit status (none or a violation name)")
 	if sub != "" {
 		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
@@ -99,6 +118,23 @@ func main() {
 			policy:     pol,
 			interval:   *fleetInterval,
 			jsonOut:    *jsonOut,
+		})
+		return
+	}
+	if sub == "mc" {
+		mcCmd(mcOpts{
+			cpus:      *mcCPUs,
+			workers:   *mcWorkers,
+			ops:       *mcOps,
+			switches:  *mcSwitches,
+			deferrals: *mcDeferrals,
+			depth:     *mcDepth,
+			bug:       *mcBug,
+			noJournal: *mcNoJournal,
+			dpor:      *mcDPOR,
+			trace:     *mcTrace,
+			jsonOut:   *jsonOut,
+			expect:    *mcExpect,
 		})
 		return
 	}
@@ -140,7 +176,7 @@ func main() {
 		case "trace":
 			traceCmd(mc, col, *out)
 		default:
-			log.Fatalf("unknown subcommand %q (want stats, trace, chaos, fleet or events)", sub)
+			log.Fatalf("unknown subcommand %q (want stats, trace, chaos, fleet, events or mc)", sub)
 		}
 		return
 	}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/mc"
+	"repro/internal/obs"
+)
+
+// mcOpts carries the `mercuryctl mc` flags.
+type mcOpts struct {
+	cpus      int
+	workers   int
+	ops       int
+	switches  int
+	deferrals int
+	depth     int
+	bug       string
+	noJournal bool
+	dpor      bool
+	trace     bool
+	jsonOut   bool
+	expect    string
+}
+
+// mcJSON is the -json output shape: the exploration result plus the
+// counterexample both as flight-recorder records and as strings.
+type mcJSON struct {
+	*mc.Result
+	Trace  []string    `json:"trace,omitempty"`
+	Events []obs.Event `json:"events,omitempty"`
+}
+
+// mcCmd runs the mode-switch protocol model checker from the command
+// line. Exit status: 0 when the verdict matches -expect (default
+// "none": a clean, complete exploration), 1 otherwise — so CI can
+// assert both the race-free pass and the seeded-bug rediscoveries.
+func mcCmd(o mcOpts) {
+	bug, err := mc.ParseBug(o.bug)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mc.Config{
+		CPUs:         o.cpus,
+		Workers:      o.workers,
+		OpsPerWorker: o.ops,
+		Switches:     o.switches,
+		MaxDeferrals: o.deferrals,
+		Journal:      !o.noJournal,
+		Bug:          bug,
+	}
+	res, err := mc.Run(cfg, mc.Options{MaxDepth: o.depth, DPOR: o.dpor})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Render the counterexample through the flight recorder — the same
+	// event-log machinery production systems are inspected with — and
+	// prove it replays before showing it.
+	var events []obs.Event
+	if res.Violation != mc.VioNone && len(res.Trace) > 0 {
+		elog := obs.NewEventLog(len(res.Trace) + 1)
+		mc.RecordTrace(elog, res)
+		events = elog.Snapshot()
+		replayed, err := mc.Replay(cfg, res.Trace)
+		if err != nil {
+			log.Fatalf("counterexample does not replay: %v", err)
+		}
+		if replayed != res.Violation {
+			log.Fatalf("replay produced %s, checker reported %s", replayed, res.Violation)
+		}
+	}
+
+	if o.jsonOut {
+		out := mcJSON{Result: res, Events: events}
+		for _, a := range res.Trace {
+			out.Trace = append(out.Trace, a.String())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		dporTag := "off"
+		if o.dpor {
+			dporTag = "on"
+		}
+		fmt.Printf("mc: cpus=%d workers=%d ops=%d switches=%d deferrals=%d journal=%v bug=%s dpor=%s\n",
+			cfg.CPUs, cfg.Workers, cfg.OpsPerWorker, cfg.Switches,
+			cfg.MaxDeferrals, cfg.Journal, cfg.Bug, dporTag)
+		if res.Violation == mc.VioNone {
+			scope := fmt.Sprintf("bounded at depth %d", res.BoundUsed)
+			if res.Complete {
+				scope = "state graph closed"
+			}
+			fmt.Printf("verdict: race-free (%s: %d states, %d transitions", scope,
+				res.States, res.Transitions)
+			if res.SleepSkips > 0 {
+				fmt.Printf(", %d pruned", res.SleepSkips)
+			}
+			fmt.Printf(", %.2f ms)\n", res.ElapsedMS)
+		} else {
+			fmt.Printf("verdict: VIOLATION %s (%d states explored, minimal counterexample %d steps, %.2f ms)\n",
+				res.Violation, res.States, res.TraceLen, res.ElapsedMS)
+			fmt.Println("replay: counterexample verified against the reduced machine")
+			if o.trace {
+				fmt.Println()
+				for _, e := range events {
+					if e.Kind == obs.EvMCStep {
+						a, err := mc.DecodeStep(e)
+						if err != nil {
+							log.Fatal(err)
+						}
+						fmt.Printf("  event seq=%-3d node=%-3d %s %s\n",
+							e.Seq, e.Node, e.Kind, a)
+					} else {
+						fmt.Printf("  event seq=%-3d node=%-3d %s %s\n",
+							e.Seq, e.Node, e.Kind, mc.Violation(e.A))
+					}
+				}
+				fmt.Println()
+				fmt.Print(mc.FormatTrace(cfg, res.Trace, res.Violation))
+			}
+		}
+	}
+
+	if res.Violation.String() != o.expect {
+		fmt.Fprintf(os.Stderr, "mc: verdict %s does not match expected %s\n",
+			res.Violation, o.expect)
+		os.Exit(1)
+	}
+}

@@ -48,17 +48,33 @@ func (mc *Mercury) LiveUpdate(c *hw.CPU, patch KernelPatch) (*UpdateReport, erro
 	// is the only activity, and the refcount gate already guaranteed no
 	// sensitive code was in flight at attach.
 	if err := patch.Apply(mc.K); err != nil {
+		err = fmt.Errorf("core: applying %q: %w", patch.Name, err)
 		if rep.WasNative {
-			_ = mc.SwitchSync(c, ModeNative)
+			// The abort must leave the system exactly as it found it:
+			// detach, then verify — a failed update that also strands
+			// the VMM resident is two failures, and both get reported.
+			if derr := mc.SwitchSync(c, ModeNative); derr != nil {
+				return nil, fmt.Errorf("%v; rollback detach: %w", err, derr)
+			}
+			if verr := mc.CheckInvariants(c); verr != nil {
+				return nil, fmt.Errorf("%v; post-abort invariants: %w", err, verr)
+			}
 		}
-		return nil, fmt.Errorf("core: applying %q: %w", patch.Name, err)
+		return nil, err
 	}
 	// Patched trap handlers must be re-registered with the VMM (and will
 	// be reloaded into the hardware IDT at detach).
 	mc.VMM.HypSetTrapTable(c, mc.Dom, mc.K.TrapGates())
 	if patch.Validate != nil {
 		if err := patch.Validate(mc.K); err != nil {
-			return nil, fmt.Errorf("core: validating %q: %w", patch.Name, err)
+			err = fmt.Errorf("core: validating %q: %w", patch.Name, err)
+			// The VMM stays resident (the operator gets to inspect the
+			// rejected kernel), but the abort still owes a verdict: the
+			// attached system must verify clean for its current mode.
+			if verr := mc.CheckInvariants(c); verr != nil {
+				return nil, fmt.Errorf("%v; post-abort invariants: %w", err, verr)
+			}
+			return nil, err
 		}
 	}
 

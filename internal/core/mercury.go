@@ -106,9 +106,22 @@ type Mercury struct {
 	// handler.
 	pending atomic.Int32 // -1 none, else target Mode
 
-	// retryTicks is the deferred-switch retry interval in cycles
-	// (the paper's example uses 10 ms — one 100 Hz tick).
+	// retryTicks is the base deferred-switch retry interval in cycles
+	// (the paper's example uses 10 ms — one 100 Hz tick). Successive
+	// deferrals of one request back off exponentially from this base,
+	// capped at BackoffCapMultiple times it, with deterministic jitter
+	// drawn from backoffRng.
 	retryTicks hw.Cycles
+
+	// backoffRng is the seeded SplitMix64 state feeding retry jitter.
+	// Atomic only because consecutive deferrals may execute on
+	// different CPU-driver goroutines; the ISR itself never runs
+	// concurrently with itself.
+	backoffRng atomic.Uint64
+
+	// stepObs, when set, receives every atomic protocol step
+	// (protocol.go); nil in production.
+	stepObs StepObserver
 
 	// maxDeferrals bounds how many times one pending switch may be
 	// deferred by a non-draining refcount before the request is
@@ -230,12 +243,20 @@ type Config struct {
 	// JournalEntries sizes the dirty-frame journal ring under
 	// TrackJournal (default xen.DefaultJournalEntries).
 	JournalEntries int
+	// BackoffSeed seeds the deterministic jitter on the deferred-switch
+	// retry backoff (default DefaultBackoffSeed). Same seed, same
+	// machine: same retry schedule.
+	BackoffSeed uint64
 }
 
 // DefaultMaxDeferrals is the default retry budget for a deferred switch
 // — 100 retries at the 10 ms interval is a full second of a sensitive
 // section refusing to drain.
 const DefaultMaxDeferrals = 100
+
+// DefaultBackoffSeed seeds the retry-jitter stream when Config leaves
+// BackoffSeed zero.
+const DefaultBackoffSeed = 0x6d65726375727931 // "mercury1"
 
 // New builds a complete Mercury system on a fresh machine: the VMM is
 // booted (pre-cached) first, then the kernel boots in native mode with
@@ -284,6 +305,10 @@ func New(cfg Config) (*Mercury, error) {
 		v.ShadowMode = true
 	}
 	mc.retryTicks = m.Hz / guest.DefaultHzTicks // 10 ms
+	if cfg.BackoffSeed == 0 {
+		cfg.BackoffSeed = DefaultBackoffSeed
+	}
+	mc.backoffRng.Store(cfg.BackoffSeed)
 	mc.maxDeferrals = int32(cfg.MaxDeferrals)
 	if mc.maxDeferrals <= 0 {
 		mc.maxDeferrals = DefaultMaxDeferrals
@@ -334,6 +359,7 @@ func (mc *Mercury) RequestSwitch(target Mode) error {
 // can take the rendezvous IPI (§5.4) — on hardware a halted core wakes
 // on the interrupt by itself.
 func (mc *Mercury) SwitchSync(c *hw.CPU, target Mode) error {
+	failedBefore := mc.Stats.FailedSwitches.Load()
 	done := make(chan struct{})
 	var idlers sync.WaitGroup
 	for _, other := range mc.M.CPUs {
@@ -372,6 +398,16 @@ func (mc *Mercury) SwitchSync(c *hw.CPU, target Mode) error {
 	}
 	close(done)
 	idlers.Wait()
+	if err != nil && mc.Stats.FailedSwitches.Load() > failedBefore {
+		// A rolled-back switch must leave the whole system
+		// quiescent-clean in its previous mode — verify, don't assume.
+		// Starved switches are exempt: the sensitive section that
+		// starved them legitimately still holds the refcount, so the
+		// quiescence oracle cannot run until the holder drains.
+		if verr := mc.CheckInvariants(c); verr != nil {
+			err = fmt.Errorf("%w; post-rollback invariants: %v", err, verr)
+		}
+	}
 	return err
 }
 

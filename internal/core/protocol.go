@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// The mode-switch protocol as data (§5.1.1, §5.4). The interrupt
+// handler in switch.go and the reduced machine in internal/mc execute
+// the same atomic steps against the same decision functions; the only
+// difference is the scheduler. Production runs each step immediately in
+// ISR order on simulated CPUs; the model checker enumerates every
+// interleaving of the same steps across CPUs and in-flight
+// virtualization-object operations. Keeping the step vocabulary and the
+// gate/retry decisions here — in one place both sides import — is what
+// makes a model-checker verdict a statement about the shipped protocol
+// rather than about a hand-transcribed copy of it.
+
+// SwitchStep identifies one atomic step of the mode-switch protocol as
+// executed by the control processor (and, for the AP steps, by each
+// application processor). The production ISR emits these through the
+// installed StepObserver in execution order; the model checker's
+// control-processor actor takes exactly these steps, one transition
+// each.
+type SwitchStep uint8
+
+const (
+	// StepGateCheck reads the VO refcount against the §5.1.1 commit
+	// gate before any cross-CPU coordination.
+	StepGateCheck SwitchStep = iota
+	// StepRendezvousGather sends the rendezvous IPIs and waits until
+	// every application processor has parked (§5.4).
+	StepRendezvousGather
+	// StepGateRecheck re-reads the commit gate after the APs parked: an
+	// operation that entered the VO between StepGateCheck and the park
+	// is frozen mid-flight still holding the refcount, and committing
+	// under it would tear the mode (the PR-3 TOCTOU race).
+	StepGateRecheck
+	// StepCommit applies the state-transfer functions (attach or
+	// detach) and publishes the new mode.
+	StepCommit
+	// StepRendezvousRelease unparks the APs; each reloads its per-CPU
+	// control state for the (possibly unchanged) target mode.
+	StepRendezvousRelease
+	// StepDeferArm postpones the switch: the retry timer is armed with
+	// the backoff delay for the current deferral count.
+	StepDeferArm
+	// StepRetryFire is the retry timer expiring and re-raising the
+	// mode-switch interrupt.
+	StepRetryFire
+	// StepStarve abandons the pending switch after MaxDeferrals
+	// retries.
+	StepStarve
+	// StepAPPark is an application processor checking in at the
+	// rendezvous (spinning with interrupts off).
+	StepAPPark
+	// StepAPResume is an application processor leaving the rendezvous
+	// after release, having reloaded its local state for the target.
+	StepAPResume
+)
+
+func (s SwitchStep) String() string {
+	switch s {
+	case StepGateCheck:
+		return "gate-check"
+	case StepRendezvousGather:
+		return "rendezvous-gather"
+	case StepGateRecheck:
+		return "gate-recheck"
+	case StepCommit:
+		return "commit"
+	case StepRendezvousRelease:
+		return "rendezvous-release"
+	case StepDeferArm:
+		return "defer-arm"
+	case StepRetryFire:
+		return "retry-fire"
+	case StepStarve:
+		return "starve"
+	case StepAPPark:
+		return "ap-park"
+	case StepAPResume:
+		return "ap-resume"
+	}
+	return fmt.Sprintf("step%d", uint8(s))
+}
+
+// StepObserver receives the protocol's atomic steps as the engine
+// executes them, in per-CPU program order. Installed by tests and the
+// model-checker conformance harness; the production default (nil) costs
+// one predictable branch per step. Observers run inside the switch ISR
+// with interrupts off and must not call back into the engine.
+type StepObserver interface {
+	OnStep(cpu int, step SwitchStep, target Mode)
+}
+
+// SetStepObserver installs o (nil to remove). Not safe to call while a
+// switch is in flight.
+func (mc *Mercury) SetStepObserver(o StepObserver) { mc.stepObs = o }
+
+// step emits one protocol step to the installed observer.
+func (mc *Mercury) step(c *hw.CPU, s SwitchStep, target Mode) {
+	if mc.stepObs != nil {
+		mc.stepObs.OnStep(c.ID, s, target)
+	}
+}
+
+// CommitGateOpen is the §5.1.1 commit-gate decision: a mode switch may
+// commit only when no sensitive operation is in flight. Both the
+// first check and the post-rendezvous recheck use it, as does the
+// model checker's reduced machine.
+func CommitGateOpen(refs int64) bool { return refs == 0 }
+
+// DeferVerdict decides the retry path for a deferred switch: n is the
+// deferral count after the current deferral, max the configured budget.
+// True means the request is abandoned as starved instead of re-armed.
+func DeferVerdict(n, max int32) (starved bool) { return n >= max }
+
+// BackoffCapMultiple bounds the exponential retry backoff: the delay
+// never exceeds BackoffCapMultiple times the base retry interval, so a
+// sensitive section that drains late still sees a retry within ~one
+// scheduling quantum of the paper's original fixed 10 ms.
+const BackoffCapMultiple = 8
+
+// backoffJitterDiv sets the deterministic jitter band: the delay is
+// perturbed by up to ±1/backoffJitterDiv of itself (±12.5%), which
+// de-synchronizes retry storms across a fleet without giving up
+// replayability — the jitter stream is seeded per system.
+const backoffJitterDiv = 8
+
+// BackoffDelay computes the n-th retry delay (n counts deferrals of the
+// current request, starting at 1): exponential in n, capped at
+// BackoffCapMultiple×base, with deterministic jitter drawn from state.
+// The same seed yields the same delay sequence — chaos campaigns and
+// the divergence audit stay bit-replayable.
+func BackoffDelay(base hw.Cycles, n int32, state *uint64) hw.Cycles {
+	if base == 0 {
+		return 0
+	}
+	capped := base * BackoffCapMultiple
+	d := base
+	for i := int32(1); i < n && d < capped; i++ {
+		d <<= 1
+	}
+	if d > capped {
+		d = capped
+	}
+	jitterSpan := d / backoffJitterDiv
+	if jitterSpan == 0 {
+		return d
+	}
+	r := splitmix64(state)
+	// Centered jitter in [-jitterSpan, +jitterSpan].
+	j := int64(r%(2*jitterSpan+1)) - int64(jitterSpan)
+	return hw.Cycles(int64(d) + j)
+}
+
+// splitmix64 advances state and returns the next value of the SplitMix64
+// sequence — a tiny, well-distributed generator whose whole state is one
+// word, so the backoff stream costs no allocation and survives in an
+// atomic field.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestCommitGateOpen(t *testing.T) {
+	if !CommitGateOpen(0) {
+		t.Fatal("gate shut with no sensitive code in flight")
+	}
+	if CommitGateOpen(1) || CommitGateOpen(42) {
+		t.Fatal("gate open with the refcount held")
+	}
+}
+
+func TestDeferVerdict(t *testing.T) {
+	if DeferVerdict(1, 2) {
+		t.Fatal("starved inside the budget")
+	}
+	if !DeferVerdict(2, 2) || !DeferVerdict(3, 2) {
+		t.Fatal("not starved past the budget")
+	}
+}
+
+// TestBackoffDelayDeterministic: the same seed yields the same delay
+// sequence — chaos campaigns and the divergence audit replay bit-exact.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	const base = hw.Cycles(10000)
+	s1, s2 := uint64(7), uint64(7)
+	for n := int32(1); n <= 10; n++ {
+		a := BackoffDelay(base, n, &s1)
+		b := BackoffDelay(base, n, &s2)
+		if a != b {
+			t.Fatalf("deferral %d: %d vs %d from the same seed", n, a, b)
+		}
+	}
+	s3 := uint64(8)
+	diverged := false
+	for n := int32(1); n <= 10; n++ {
+		s1v := uint64(7)
+		if BackoffDelay(base, n, &s3) != BackoffDelay(base, n, &s1v) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds never perturbed the delay")
+	}
+}
+
+// TestBackoffDelayBounds: every delay stays within the jitter band of
+// its nominal exponential value, and the nominal value is capped at
+// BackoffCapMultiple times the base.
+func TestBackoffDelayBounds(t *testing.T) {
+	const base = hw.Cycles(10000)
+	state := uint64(12345)
+	for n := int32(1); n <= 12; n++ {
+		nominal := base
+		for i := int32(1); i < n && nominal < base*BackoffCapMultiple; i++ {
+			nominal <<= 1
+		}
+		if nominal > base*BackoffCapMultiple {
+			nominal = base * BackoffCapMultiple
+		}
+		d := BackoffDelay(base, n, &state)
+		span := nominal / 8 // the ±12.5% jitter band
+		if d < nominal-span || d > nominal+span {
+			t.Fatalf("deferral %d: delay %d outside [%d, %d]",
+				n, d, nominal-span, nominal+span)
+		}
+	}
+	// Past the knee every delay is pinned to the capped nominal: never
+	// more than cap plus its jitter span.
+	capped := base * BackoffCapMultiple
+	for n := int32(4); n <= 32; n += 7 {
+		d := BackoffDelay(base, n, &state)
+		if d > capped+capped/8 || d < capped-capped/8 {
+			t.Fatalf("deferral %d: capped delay %d strays from %d", n, d, capped)
+		}
+	}
+}
+
+// TestBackoffDelayGrowth: with jitter held to its band, the nominal
+// schedule doubles per deferral until the cap.
+func TestBackoffDelayGrowth(t *testing.T) {
+	const base = hw.Cycles(1 << 20) // power of two: exact doubling
+	state := uint64(99)
+	prevFloor := hw.Cycles(0)
+	for n := int32(1); n <= 4; n++ {
+		d := BackoffDelay(base, n, &state)
+		floor := (base << (n - 1)) - (base<<(n-1))/8
+		if d < floor {
+			t.Fatalf("deferral %d: delay %d below jittered floor %d", n, d, floor)
+		}
+		if floor <= prevFloor {
+			t.Fatalf("schedule not growing at deferral %d", n)
+		}
+		prevFloor = floor
+	}
+}
+
+func TestBackoffDelayZeroBase(t *testing.T) {
+	state := uint64(1)
+	if d := BackoffDelay(0, 3, &state); d != 0 {
+		t.Fatalf("zero base gave %d", d)
+	}
+}
+
+// TestBackoffTinyBaseNoJitter: a base too small to carve a jitter span
+// returns the exact nominal delay (the jitter path must not divide by
+// zero or return a zero delay).
+func TestBackoffTinyBaseNoJitter(t *testing.T) {
+	state := uint64(1)
+	for n := int32(1); n <= 3; n++ { // past n=3 the cap is wide enough to jitter
+		d := BackoffDelay(1, n, &state)
+		want := hw.Cycles(1) << (n - 1)
+		if d != want {
+			t.Fatalf("deferral %d: delay %d, want exact nominal %d", n, d, want)
+		}
+	}
+}

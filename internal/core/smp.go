@@ -60,6 +60,7 @@ func (mc *Mercury) apRendezvousISR(c *hw.CPU, f *hw.TrapFrame) {
 	st := &mc.smp
 	sp := obs.Begin(mc.telCol(), c.ID, c.Now(), "switch/ap-rendezvous")
 	c.Charge(mc.M.Costs.IPIDeliver)
+	mc.step(c, StepAPPark, Mode(st.target.Load()))
 	st.ready.Add(1)
 	for !st.released.Load() {
 		c.Clk.Advance(20) // spin with interrupts off
@@ -77,6 +78,7 @@ func (mc *Mercury) apRendezvousISR(c *hw.CPU, f *hw.TrapFrame) {
 	}
 	c.Charge(mc.M.Costs.StateReload)
 	patchFramePL(f, plFor(flip(target)), plFor(target))
+	mc.step(c, StepAPResume, target)
 	sp.EndArg(c.Now(), uint64(target))
 	st.done.Add(1)
 }

@@ -32,13 +32,15 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	// budget bounds a sensitive section that never drains: past
 	// MaxDeferrals the request is abandoned and reported, instead of
 	// re-arming forever while SwitchSync spins unbounded.
-	if mc.K.VO().Refs() != 0 {
+	mc.step(c, StepGateCheck, target)
+	if !CommitGateOpen(mc.K.VO().Refs()) {
 		mc.deferSwitch(c, h, target)
 		return
 	}
 
 	// SMP: bring every other processor to a safe rendezvous point
 	// before touching global state (§5.4).
+	mc.step(c, StepRendezvousGather, target)
 	gsp := obs.Begin(col, c.ID, c.Now(), "switch/rendezvous-gather")
 	release := mc.rendezvous(c, target)
 	gsp.End(c.Now())
@@ -50,9 +52,13 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	// its remaining stores in the wrong mode (under the journal policy,
 	// a direct memory write the attached VMM never sees). No new
 	// operation can begin while the APs are held, so a zero count here
-	// is final.
-	if mc.K.VO().Refs() != 0 {
+	// is final. internal/mc proves this mechanically: reverting this
+	// recheck (the PR-3 TOCTOU bug, mc.BugTOCTOU) yields a commit with
+	// the refcount held within a handful of interleavings.
+	mc.step(c, StepGateRecheck, target)
+	if !CommitGateOpen(mc.K.VO().Refs()) {
 		mc.smp.target.Store(int32(mc.Mode())) // APs reload the old mode
+		mc.step(c, StepRendezvousRelease, target)
 		release()
 		mc.deferSwitch(c, h, target)
 		return
@@ -61,6 +67,7 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	// The root span opens at the same instant the cycle accounting
 	// starts, so its duration equals Stats.LastAttachCyc/LastDetachCyc
 	// and the phase spans inside attach/detach tile it exactly.
+	mc.step(c, StepCommit, target)
 	start := c.Now()
 	rootName := "switch/attach"
 	if target == ModeNative {
@@ -105,6 +112,7 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 		mc.setLastError(err)
 		mc.smp.target.Store(int32(mc.Mode())) // APs reload the old mode
 		mc.pending.Store(-1)
+		mc.step(c, StepRendezvousRelease, target)
 		rsp := obs.Begin(col, c.ID, c.Now(), "switch/rendezvous-release")
 		release()
 		rsp.End(c.Now())
@@ -122,13 +130,16 @@ func (mc *Mercury) modeSwitchISR(c *hw.CPU, f *hw.TrapFrame) {
 	}
 	mc.mode.Store(int32(target))
 	mc.pending.Store(-1)
+	mc.step(c, StepRendezvousRelease, target)
 	rsp := obs.Begin(col, c.ID, c.Now(), "switch/rendezvous-release")
 	release()
 	rsp.End(c.Now())
 }
 
-// deferSwitch postpones the pending switch via the §5.1.1 retry timer,
-// or abandons it as starved once the retry budget is spent.
+// deferSwitch postpones the pending switch via the §5.1.1 retry timer —
+// backing off exponentially (with deterministic seeded jitter) as the
+// same request keeps finding sensitive code in flight — or abandons it
+// as starved once the retry budget is spent.
 func (mc *Mercury) deferSwitch(c *hw.CPU, h *coreObs, target Mode) {
 	mc.Stats.Deferred.Add(1)
 	if h != nil {
@@ -137,7 +148,9 @@ func (mc *Mercury) deferSwitch(c *hw.CPU, h *coreObs, target Mode) {
 	}
 	mc.event(h, obs.EvSwitchDeferred, c.Now(), uint64(target),
 		uint64(mc.deferrals.Load()+1))
-	if n := mc.deferrals.Add(1); n >= mc.maxDeferrals {
+	n := mc.deferrals.Add(1)
+	if DeferVerdict(n, mc.maxDeferrals) {
+		mc.step(c, StepStarve, target)
 		mc.Stats.StarvedSwitches.Add(1)
 		if h != nil {
 			h.starved.Inc()
@@ -151,7 +164,17 @@ func (mc *Mercury) deferSwitch(c *hw.CPU, h *coreObs, target Mode) {
 		mc.pending.Store(-1)
 		return
 	}
-	mc.K.AddTimer(c, c.Now()+mc.retryTicks, func(tc *hw.CPU) {
+	mc.step(c, StepDeferArm, target)
+	// Bounded exponential backoff: a section that drains in one tick
+	// retries in one tick; one that keeps refusing is probed ever more
+	// rarely (up to BackoffCapMultiple ticks), and the seeded jitter
+	// keeps a fleet's retries from beating in lockstep.
+	state := mc.backoffRng.Load()
+	delay := BackoffDelay(mc.retryTicks, n, &state)
+	mc.backoffRng.Store(state)
+	mc.event(h, obs.EvSwitchBackoff, c.Now(), delay, uint64(n))
+	mc.K.AddTimer(c, c.Now()+delay, func(tc *hw.CPU) {
+		mc.step(tc, StepRetryFire, target)
 		tc.LAPIC.Post(hw.VecModeSwitch)
 	})
 }

@@ -151,6 +151,12 @@ func (fc *Controller) RunWave(cfg WaveConfig) (*WaveReport, error) {
 				node.state = NodeServing
 			}
 		}
+		// Aborts get the same verdict committed waves do: recovery must
+		// leave every node quiescent-clean, not merely native.
+		if verr := fc.CheckFleetInvariants(); verr != nil {
+			return rep, fmt.Errorf("fleet: wave aborted (%v); post-abort invariants: %w",
+				why, verr)
+		}
 		rep.Ticks = fc.now - start
 		rep.Admission = fc.Adm.Stats()
 		return rep, fmt.Errorf("fleet: wave aborted: %w", why)

@@ -1,0 +1,216 @@
+package mc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The committed checker evidence: BENCH_mc.json records, for a fixed
+// row set, how many states and transitions each exploration visits and
+// what verdict it reaches. Everything except wall-clock time is
+// deterministic for a fixed configuration, so CI diffs the counts
+// exactly — a protocol change that shrinks or grows the reachable
+// state space, flips a verdict, or lengthens a minimal counterexample
+// shows up as a baseline breach, not a silent drift.
+
+// BenchRow is one exploration's committed evidence.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	CPUs        int     `json:"cpus"`
+	Workers     int     `json:"workers"`
+	Bug         string  `json:"bug"`
+	DPOR        bool    `json:"dpor"`
+	Violation   string  `json:"violation"`
+	Complete    bool    `json:"complete"`
+	States      int     `json:"states"`
+	Transitions int     `json:"transitions"`
+	SleepSkips  int     `json:"sleep_skips"`
+	BoundUsed   int     `json:"bound_used"`
+	TraceLen    int     `json:"trace_len"`
+	ElapsedMS   float64 `json:"elapsed_ms"` // informational, never diffed
+}
+
+// Baseline is the committed BENCH_mc.json shape.
+type Baseline struct {
+	Schema string     `json:"schema"`
+	Rows   []BenchRow `json:"rows"`
+}
+
+const baselineSchema = "mc-baseline/v1"
+
+// wideConfig is the larger clean row: three CPUs, three workers.
+func wideConfig() Config {
+	return Config{CPUs: 3, Workers: 3, OpsPerWorker: 2, Switches: 3,
+		MaxDeferrals: 2, Journal: true}
+}
+
+// benchRows is the fixed row set. Clean explorations must be complete
+// and violation-free; the seeded rows must rediscover their bug — the
+// suite itself enforces both, so `benchtab -exp mc` fails loudly even
+// without a baseline to diff.
+func benchRows() []struct {
+	name   string
+	cfg    Config
+	dpor   bool
+	expect Violation
+} {
+	uni := Config{CPUs: 1, Workers: 2, OpsPerWorker: 2, Switches: 3,
+		MaxDeferrals: 2, Journal: true}
+	return []struct {
+		name   string
+		cfg    Config
+		dpor   bool
+		expect Violation
+	}{
+		{"clean-default", DefaultConfig(), false, VioNone},
+		{"clean-default-dpor", DefaultConfig(), true, VioNone},
+		{"clean-uniprocessor", uni, false, VioNone},
+		{"clean-wide", wideConfig(), false, VioNone},
+		{"clean-wide-dpor", wideConfig(), true, VioNone},
+		{"seeded-toctou", bugConfig(BugTOCTOU), false, VioCommitRefs},
+		{"seeded-toctou-dpor", bugConfig(BugTOCTOU), true, VioCommitRefs},
+		{"seeded-rendezvous", bugConfig(BugRendezvous), false, VioCommitUnparked},
+		{"seeded-rendezvous-dpor", bugConfig(BugRendezvous), true, VioCommitUnparked},
+	}
+}
+
+func bugConfig(b Bug) Config {
+	cfg := DefaultConfig()
+	cfg.Bug = b
+	return cfg
+}
+
+// BenchSuite runs the fixed row set and returns its evidence, erroring
+// if any row misses its expected verdict (a clean row violated, an
+// incomplete clean exploration, or a seeded bug not rediscovered).
+func BenchSuite() ([]BenchRow, error) {
+	var rows []BenchRow
+	for _, r := range benchRows() {
+		res, err := Run(r.cfg, Options{DPOR: r.dpor})
+		if err != nil {
+			return nil, fmt.Errorf("mc bench %s: %w", r.name, err)
+		}
+		if res.Violation != r.expect {
+			return nil, fmt.Errorf("mc bench %s: verdict %s, want %s",
+				r.name, res.Violation, r.expect)
+		}
+		if r.expect == VioNone && !res.Complete {
+			return nil, fmt.Errorf("mc bench %s: state graph not closed", r.name)
+		}
+		rows = append(rows, BenchRow{
+			Name:        r.name,
+			CPUs:        r.cfg.CPUs,
+			Workers:     r.cfg.Workers,
+			Bug:         r.cfg.Bug.String(),
+			DPOR:        r.dpor,
+			Violation:   res.Violation.String(),
+			Complete:    res.Complete,
+			States:      res.States,
+			Transitions: res.Transitions,
+			SleepSkips:  res.SleepSkips,
+			BoundUsed:   res.BoundUsed,
+			TraceLen:    res.TraceLen,
+			ElapsedMS:   res.ElapsedMS,
+		})
+	}
+	return rows, nil
+}
+
+// WriteBenchTable renders the suite for humans.
+func WriteBenchTable(w io.Writer, rows []BenchRow) {
+	fmt.Fprintf(w, "%-24s %5s %7s %-26s %9s %11s %10s %6s %4s %9s\n",
+		"row", "cpus", "workers", "violation", "states",
+		"transitions", "pruned", "bound", "cex", "ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %5d %7d %-26s %9d %11d %10d %6d %4d %9.2f\n",
+			r.Name, r.CPUs, r.Workers, r.Violation, r.States,
+			r.Transitions, r.SleepSkips, r.BoundUsed, r.TraceLen, r.ElapsedMS)
+	}
+}
+
+// WriteBaseline writes BENCH_mc.json.
+func WriteBaseline(path string, rows []BenchRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Baseline{Schema: baselineSchema, Rows: rows})
+}
+
+// LoadBaseline reads a committed BENCH_mc.json.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("mc: parsing baseline %s: %w", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return nil, fmt.Errorf("mc: baseline %s has schema %q, want %q",
+			path, b.Schema, baselineSchema)
+	}
+	return &b, nil
+}
+
+// CompareBaseline diffs fresh rows against the committed baseline.
+// Every field except ElapsedMS is exact: the exploration is
+// deterministic, so any delta is a real change to the protocol's
+// reachable behaviour (or to the checker) that must be re-committed
+// deliberately.
+func CompareBaseline(base *Baseline, rows []BenchRow) []string {
+	var violations []string
+	byName := make(map[string]BenchRow, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, want := range base.Rows {
+		got, ok := byName[want.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: row missing from fresh run", want.Name))
+			continue
+		}
+		delete(byName, want.Name)
+		if got.Violation != want.Violation {
+			violations = append(violations, fmt.Sprintf(
+				"%s: verdict %s, baseline %s", want.Name, got.Violation, want.Violation))
+		}
+		if got.Complete != want.Complete {
+			violations = append(violations, fmt.Sprintf(
+				"%s: complete=%v, baseline %v", want.Name, got.Complete, want.Complete))
+		}
+		if got.States != want.States || got.Transitions != want.Transitions {
+			violations = append(violations, fmt.Sprintf(
+				"%s: explored (%d states, %d transitions), baseline (%d, %d)",
+				want.Name, got.States, got.Transitions, want.States, want.Transitions))
+		}
+		if got.SleepSkips != want.SleepSkips {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d sleep-set prunes, baseline %d",
+				want.Name, got.SleepSkips, want.SleepSkips))
+		}
+		if got.BoundUsed != want.BoundUsed || got.TraceLen != want.TraceLen {
+			violations = append(violations, fmt.Sprintf(
+				"%s: bound=%d cex=%d, baseline bound=%d cex=%d",
+				want.Name, got.BoundUsed, got.TraceLen, want.BoundUsed, want.TraceLen))
+		}
+	}
+	var extra []string
+	for name := range byName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		violations = append(violations,
+			fmt.Sprintf("%s: row not in baseline (add it deliberately)", name))
+	}
+	return violations
+}

@@ -1,0 +1,128 @@
+package mc
+
+// Sleep-set DPOR needs a sound independence relation. Two actions are
+// independent when they commute from every state, which we
+// over-approximate with static read/write footprints over the reduced
+// machine's variables: an action's reads include its enabling guard
+// (so disabling/enabling is covered), and two actions are independent
+// iff neither's write set intersects the other's read or write set.
+// Over-approximating a footprint is always safe — it only costs
+// pruning, never soundness.
+
+// Variable bits. Scalars share coarse groups; per-CPU and per-worker
+// state gets its own bit so operations on different CPUs/workers can
+// commute.
+const (
+	vRefs    uint32 = 1 << 0 // VO refcount
+	vMode    uint32 = 1 << 1 // committed global mode
+	vReq     uint32 = 1 << 2 // Pending, Requests, Deferrals
+	vTimer   uint32 = 1 << 3 // retry timer
+	vCP      uint32 = 1 << 4 // CP location, Target, IPISent, Released, Committing, Aborting
+	vJournal uint32 = 1 << 5 // JArmed, JDirty
+	vLost    uint32 = 1 << 6 // LostWrite flag
+
+	vAPBase  = 8                  // bits 8..8+MaxCPUs-1: AP[i] park state
+	vCPUBase = vAPBase + MaxCPUs  // per-CPU loaded control state
+	vWBase   = vCPUBase + MaxCPUs // bits per worker: W, WMode, WOps
+)
+
+func vAP(i int) uint32   { return 1 << (vAPBase + i) }
+func vCPUM(i int) uint32 { return 1 << (vCPUBase + i) }
+func vW(w int) uint32    { return 1 << (vWBase + w) }
+
+// Action-ID space: one dense id per (kind, who) pair so sleep sets fit
+// a uint32 bitmask.
+const (
+	idRaise = iota
+	idTimerFire
+	idGateCheck
+	idGatherComplete
+	idGateRecheck
+	idCommitBegin
+	idCommitEnd
+	idFinish
+	idAPParkBase                                // + (cpu-1), cpus 1..MaxCPUs-1
+	idAPResumeBase = idAPParkBase + MaxCPUs - 1 // + (cpu-1)
+	idEnterBase    = idAPResumeBase + MaxCPUs - 1
+	idWriteBase    = idEnterBase + MaxWorkers
+	idExitBase     = idWriteBase + MaxWorkers
+	numActionIDs   = idExitBase + MaxWorkers
+)
+
+// actionID maps an action to its dense id.
+func actionID(a Action) uint8 {
+	switch a.Kind {
+	case ActRaise:
+		return idRaise
+	case ActTimerFire:
+		return idTimerFire
+	case ActGateCheck:
+		return idGateCheck
+	case ActGatherComplete:
+		return idGatherComplete
+	case ActGateRecheck:
+		return idGateRecheck
+	case ActCommitBegin:
+		return idCommitBegin
+	case ActCommitEnd:
+		return idCommitEnd
+	case ActFinish:
+		return idFinish
+	case ActAPPark:
+		return uint8(idAPParkBase + int(a.Who) - 1)
+	case ActAPResume:
+		return uint8(idAPResumeBase + int(a.Who) - 1)
+	case ActEnter:
+		return uint8(idEnterBase + int(a.Who))
+	case ActWrite:
+		return uint8(idWriteBase + int(a.Who))
+	}
+	return uint8(idExitBase + int(a.Who)) // ActExit
+}
+
+// footprint is an action's static read/write variable sets.
+type footprint struct{ r, w uint32 }
+
+// buildFootprints fills the per-id footprint table for e.cfg. Guards
+// count as reads.
+func (e *explorer) buildFootprints() {
+	cfg := &e.cfg
+	var allAP uint32
+	for i := 1; i < cfg.CPUs; i++ {
+		allAP |= vAP(i)
+	}
+	e.fp[idRaise] = footprint{r: vReq | vCP | vTimer | vMode, w: vReq | vCP}
+	e.fp[idTimerFire] = footprint{r: vTimer | vCP, w: vTimer | vCP}
+	e.fp[idGateCheck] = footprint{r: vCP | vRefs | vReq, w: vCP | vReq | vTimer}
+	e.fp[idGatherComplete] = footprint{r: vCP | allAP, w: vCP}
+	e.fp[idGateRecheck] = footprint{r: vCP | vRefs | vMode, w: vCP}
+	e.fp[idCommitBegin] = footprint{r: vCP | vJournal, w: vCP | vJournal}
+	e.fp[idCommitEnd] = footprint{r: vCP | vJournal,
+		w: vCP | vMode | vCPUM(0) | vJournal | vReq}
+	e.fp[idFinish] = footprint{r: vCP | allAP | vReq,
+		w: vCP | allAP | vReq | vTimer}
+	for i := 1; i < MaxCPUs; i++ {
+		e.fp[idAPParkBase+i-1] = footprint{r: vCP | vAP(i), w: vAP(i)}
+		e.fp[idAPResumeBase+i-1] = footprint{r: vCP | vAP(i),
+			w: vAP(i) | vCPUM(i)}
+	}
+	for w := 0; w < MaxWorkers; w++ {
+		guard := vW(w)
+		if j := cfg.workerCPU(w); j == 0 {
+			guard |= vCP
+		} else {
+			guard |= vAP(j)
+		}
+		e.fp[idEnterBase+w] = footprint{r: guard | vMode, w: vRefs | vW(w)}
+		e.fp[idWriteBase+w] = footprint{r: guard | vMode | vJournal,
+			w: vJournal | vLost | vW(w)}
+		e.fp[idExitBase+w] = footprint{r: guard, w: vRefs | vW(w)}
+	}
+}
+
+// independent reports whether the actions with ids a and b commute:
+// neither writes what the other reads or writes.
+func (e *explorer) independent(a, b uint8) bool {
+	fa, fb := e.fp[a], e.fp[b]
+	return fa.w&(fb.r|fb.w) == 0 && fb.w&(fa.r|fa.w) == 0
+}

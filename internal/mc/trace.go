@@ -1,0 +1,175 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// A counterexample is only convincing if it can be replayed: Replay
+// re-executes the action sequence against the same reduced machine,
+// verifying at each step that the action was actually enabled, and
+// returns the violation the final state exhibits. RecordTrace renders
+// the same sequence into flight-recorder records so `mercuryctl mc
+// -trace` shows the failing interleaving with the same tooling that
+// inspects production event logs.
+
+// Replay re-runs trace from cfg's boot state. It errors if any step is
+// not enabled in its predecessor state (a corrupted or mismatched
+// trace), and otherwise returns the first violation encountered —
+// VioNone means the trace does not reproduce a failure.
+func Replay(cfg Config, trace []Action) (Violation, error) {
+	if err := cfg.validate(); err != nil {
+		return VioNone, err
+	}
+	s := initState(cfg)
+	var buf []Action
+	for i, a := range trace {
+		buf = enabled(buf[:0], &s, &cfg)
+		ok := false
+		for _, e := range buf {
+			if e == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return VioNone, fmt.Errorf(
+				"mc: replay step %d: %s not enabled (CP=%d refs=%d mode=%d)",
+				i, a, s.CP, s.Refs, s.Mode)
+		}
+		s = apply(s, a, &cfg)
+		if v := invariants(&s, &cfg); v != VioNone {
+			if i != len(trace)-1 {
+				return v, fmt.Errorf(
+					"mc: replay violated %s at step %d of %d (trace not minimal?)",
+					v, i+1, len(trace))
+			}
+			return v, nil
+		}
+	}
+	// No safety breach along the way: the trace may end in a deadlock.
+	buf = enabled(buf[:0], &s, &cfg)
+	if len(buf) == 0 && !terminal(&s, &cfg) {
+		return VioDeadlock, nil
+	}
+	return VioNone, nil
+}
+
+// traceNode attributes an action to a flight-recorder node: the acting
+// CPU for CP/AP steps, 100+worker for VO operations (their CPU pinning
+// is in the B payload via workerCPU).
+func traceNode(a Action) int32 {
+	switch a.Kind {
+	case ActAPPark, ActAPResume:
+		return int32(a.Who)
+	case ActEnter, ActWrite, ActExit:
+		return 100 + int32(a.Who)
+	default:
+		return 0 // control processor / environment
+	}
+}
+
+// RecordTrace renders a counterexample into log as EvMCStep records
+// (TS = step index, A = ActionKind, B = actor index) terminated by one
+// EvMCViolation record carrying the violation code.
+func RecordTrace(log *obs.EventLog, res *Result) {
+	for i, a := range res.Trace {
+		log.Record(obs.EvMCStep, traceNode(a), uint64(i),
+			uint64(a.Kind), uint64(a.Who))
+	}
+	log.Record(obs.EvMCViolation, -1, uint64(len(res.Trace)),
+		uint64(res.Violation), 0)
+}
+
+// DecodeStep maps an EvMCStep record back to its action.
+func DecodeStep(e obs.Event) (Action, error) {
+	if e.Kind != obs.EvMCStep {
+		return Action{}, fmt.Errorf("mc: not an mc-step record: %s", e.Kind)
+	}
+	if e.A > uint64(ActExit) {
+		return Action{}, fmt.Errorf("mc: bad action kind %d in record", e.A)
+	}
+	return Action{Kind: ActionKind(e.A), Who: uint8(e.B)}, nil
+}
+
+// DecodeTrace rebuilds an action trace from a flight-recorder snapshot,
+// returning the actions and the recorded violation.
+func DecodeTrace(events []obs.Event) ([]Action, Violation, error) {
+	var trace []Action
+	vio := VioNone
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvMCStep:
+			a, err := DecodeStep(e)
+			if err != nil {
+				return nil, VioNone, err
+			}
+			trace = append(trace, a)
+		case obs.EvMCViolation:
+			vio = Violation(e.A)
+		}
+	}
+	if vio == VioNone {
+		return nil, VioNone, fmt.Errorf("mc: no mc-violation record in snapshot")
+	}
+	return trace, vio, nil
+}
+
+// FormatTrace renders a counterexample for humans: one line per step
+// with the machine state after it, so the interleaving that breaks the
+// invariant can be read top to bottom.
+func FormatTrace(cfg Config, trace []Action, vio Violation) string {
+	var b strings.Builder
+	s := initState(cfg)
+	fmt.Fprintf(&b, "    boot: %s\n", stateLine(&s, &cfg))
+	for i, a := range trace {
+		s = apply(s, a, &cfg)
+		fmt.Fprintf(&b, "%4d  %-22s %s\n", i+1, a.String(), stateLine(&s, &cfg))
+	}
+	fmt.Fprintf(&b, "violation: %s\n", vio)
+	return b.String()
+}
+
+// stateLine is the one-line state summary used by FormatTrace.
+func stateLine(s *State, cfg *Config) string {
+	mode := "native"
+	if s.Mode == modeVirtual {
+		mode = "virtual"
+	}
+	var ap strings.Builder
+	for i := 1; i < cfg.CPUs; i++ {
+		switch s.AP[i] {
+		case apParked:
+			ap.WriteByte('P')
+		case apResumed:
+			ap.WriteByte('R')
+		default:
+			ap.WriteByte('.')
+		}
+	}
+	var w strings.Builder
+	for i := 0; i < cfg.Workers; i++ {
+		switch s.W[i] {
+		case wIn:
+			w.WriteByte('i')
+		case wWrote:
+			w.WriteByte('w')
+		default:
+			w.WriteByte('.')
+		}
+	}
+	flags := ""
+	if s.Committing {
+		flags += " COMMITTING"
+	}
+	if s.TimerArmed {
+		flags += " timer"
+	}
+	if s.JArmed {
+		flags += " journal"
+	}
+	return fmt.Sprintf("mode=%-7s refs=%d cp=%d ap=[%s] w=[%s]%s",
+		mode, s.Refs, s.CP, ap.String(), w.String(), flags)
+}

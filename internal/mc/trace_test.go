@@ -1,0 +1,123 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceRoundTrip: a counterexample rendered into the flight
+// recorder must decode back to the same action sequence and replay to
+// the same violation — the contract `mercuryctl mc -trace` depends on.
+func TestTraceRoundTrip(t *testing.T) {
+	for b, want := range map[Bug]Violation{
+		BugTOCTOU:     VioCommitRefs,
+		BugRendezvous: VioCommitUnparked,
+	} {
+		cfg := DefaultConfig()
+		cfg.Bug = b
+		res, err := Run(cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := obs.NewEventLog(64)
+		RecordTrace(log, res)
+		snap := log.Snapshot()
+		if len(snap) != len(res.Trace)+1 {
+			t.Fatalf("%s: %d records for a %d-step trace", b, len(snap), len(res.Trace))
+		}
+		trace, vio, err := DecodeTrace(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vio != want {
+			t.Fatalf("%s: decoded violation %s, want %s", b, vio, want)
+		}
+		if len(trace) != len(res.Trace) {
+			t.Fatalf("%s: decoded %d steps, want %d", b, len(trace), len(res.Trace))
+		}
+		for i := range trace {
+			if trace[i] != res.Trace[i] {
+				t.Fatalf("%s: step %d decoded as %s, want %s",
+					b, i, trace[i], res.Trace[i])
+			}
+		}
+		got, err := Replay(cfg, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: replay produced %s, want %s", b, got, want)
+		}
+	}
+}
+
+// TestReplayRejectsCorruptedTrace: splicing an impossible step into a
+// trace must be detected, not silently applied.
+func TestReplayRejectsCorruptedTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bug = BugTOCTOU
+	res, err := Run(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]Action(nil), res.Trace...)
+	bad[0] = Action{Kind: ActCommitEnd} // CP is idle at boot
+	if _, err := Replay(cfg, bad); err == nil {
+		t.Fatal("replay accepted a corrupted trace")
+	}
+	// A clean-config replay of the buggy trace must also fail: the
+	// gather step is not enabled without the seeded bug.
+	if _, err := Replay(DefaultConfig(), res.Trace); err == nil {
+		t.Fatal("replay reproduced a bug-only trace on the clean protocol")
+	}
+}
+
+// TestReplayCleanPrefix: a prefix of a counterexample that stops short
+// of the violation replays clean.
+func TestReplayCleanPrefix(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bug = BugRendezvous
+	res, err := Run(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vio, err := Replay(cfg, res.Trace[:len(res.Trace)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vio != VioNone {
+		t.Fatalf("prefix already violates: %s", vio)
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bug = BugTOCTOU
+	res, err := Run(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatTrace(cfg, res.Trace, res.Violation)
+	for _, want := range []string{"boot:", "gate-check", "ap-park",
+		"rendezvous-gather", "commit-begin",
+		"violation: commit-with-refcount-held"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDecodeTraceRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeTrace([]obs.Event{
+		{Kind: obs.EvMCStep, A: 200},
+	}); err == nil {
+		t.Fatal("decoded an out-of-range action kind")
+	}
+	if _, _, err := DecodeTrace([]obs.Event{
+		{Kind: obs.EvMCStep, A: uint64(ActRaise)},
+	}); err == nil {
+		t.Fatal("decoded a snapshot with no violation record")
+	}
+}

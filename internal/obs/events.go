@@ -60,7 +60,23 @@ const (
 	EvMigrationRollback
 	// EvCheckpointDone: a checkpoint action completed. A = image pages.
 	EvCheckpointDone
+	// EvSwitchBackoff: a deferred switch armed its retry timer.
+	// A = chosen backoff delay in cycles (exponential with seeded
+	// jitter), B = deferral count for the pending request.
+	EvSwitchBackoff
+	// EvMCStep: one atomic step of a model-checker counterexample
+	// trace (internal/mc). Node = acting CPU (or 100+worker index for
+	// virtualization-object operations), A = the step/action code as
+	// rendered by the mc package, B = a step-specific argument.
+	EvMCStep
+	// EvMCViolation: the invariant violation terminating a
+	// model-checker counterexample. A = the mc violation code.
+	EvMCViolation
 )
+
+// evKindLast is the highest assigned kind, the ParseEventKind bound —
+// keep it on the final constant when adding kinds.
+const evKindLast = EvMCViolation
 
 func (k EventKind) String() string {
 	switch k {
@@ -94,13 +110,19 @@ func (k EventKind) String() string {
 		return "migration-rollback"
 	case EvCheckpointDone:
 		return "checkpoint-done"
+	case EvSwitchBackoff:
+		return "switch-backoff"
+	case EvMCStep:
+		return "mc-step"
+	case EvMCViolation:
+		return "mc-violation"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
 
 // ParseEventKind maps a CLI spelling back to a kind.
 func ParseEventKind(s string) (EventKind, error) {
-	for k := EvModeSwitch; k <= EvCheckpointDone; k++ {
+	for k := EvModeSwitch; k <= evKindLast; k++ {
 		if k.String() == s {
 			return k, nil
 		}

@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestEventLogOrderAndSeq(t *testing.T) {
 	l := NewEventLog(8)
@@ -98,4 +101,105 @@ func TestRecordEventNilSafe(t *testing.T) {
 	RecordEvent(nil, EvModeSwitch, 0, 0, 0, 0)
 	RecordEvent(&Collector{Registry: NewRegistry(), Tracer: NewTracer(1, 0)},
 		EvModeSwitch, 0, 0, 0, 0)
+}
+
+// TestEventLogConcurrentWriters hammers one ring from many goroutines
+// and checks the global accounting: nothing lost, nothing double
+// counted, and the survivors are exactly the newest records in a total
+// order that respects every writer's program order.
+func TestEventLogConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		each    = 500
+		ringCap = 64
+	)
+	l := NewEventLog(ringCap)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				// Node = writer, A = the writer's own index, B mirrors
+				// Node so torn records would be self-evident.
+				l.Record(EvModeSwitch, int32(w), uint64(i), uint64(i), uint64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = writers * each
+	if got := l.Total(); got != total {
+		t.Fatalf("total = %d, want %d", got, total)
+	}
+	if got := l.Dropped(); got != total-ringCap {
+		t.Fatalf("dropped = %d, want %d", got, total-ringCap)
+	}
+	evs := l.Snapshot()
+	if len(evs) != ringCap {
+		t.Fatalf("snapshot holds %d, want %d", len(evs), ringCap)
+	}
+	lastIdx := make(map[int32]uint64)
+	for i, e := range evs {
+		// Overwrite-oldest means the survivors are the final ringCap
+		// sequence numbers, contiguous and in emission order.
+		if want := uint64(total - ringCap + i); e.Seq != want {
+			t.Fatalf("slot %d: seq=%d, want %d", i, e.Seq, want)
+		}
+		if e.B != uint64(e.Node) || e.A != e.TS {
+			t.Fatalf("torn record: %+v", e)
+		}
+		// Within one writer, later records carry larger indices: the
+		// ring's total order embeds every writer's program order.
+		if prev, ok := lastIdx[e.Node]; ok && e.A <= prev {
+			t.Fatalf("writer %d reordered: %d after %d", e.Node, e.A, prev)
+		}
+		lastIdx[e.Node] = e.A
+	}
+}
+
+// TestEventLogSnapshotUnderFire interleaves Snapshot with live writers:
+// every snapshot must be internally consistent (contiguous ascending
+// sequence numbers, no torn records, never more than cap), even though
+// the ring keeps moving underneath.
+func TestEventLogSnapshotUnderFire(t *testing.T) {
+	const ringCap = 32
+	l := NewEventLog(ringCap)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Record(EvHealOK, int32(w), uint64(i), uint64(i), uint64(w))
+			}
+		}(w)
+	}
+	for snap := 0; snap < 200; snap++ {
+		evs := l.Snapshot()
+		if len(evs) > ringCap {
+			t.Fatalf("snapshot %d exceeds cap: %d", snap, len(evs))
+		}
+		for i, e := range evs {
+			if i > 0 && e.Seq != evs[i-1].Seq+1 {
+				t.Fatalf("snapshot %d not contiguous at %d: %d then %d",
+					snap, i, evs[i-1].Seq, e.Seq)
+			}
+			if e.B != uint64(e.Node) || e.A != e.TS {
+				t.Fatalf("snapshot %d torn record: %+v", snap, e)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if l.Total() != l.Dropped()+uint64(l.Len()) {
+		t.Fatalf("accounting: total=%d dropped=%d len=%d",
+			l.Total(), l.Dropped(), l.Len())
+	}
 }
