@@ -255,6 +255,41 @@ func main() {
 		}
 		bench.WriteBatchingAblation(os.Stdout, r)
 		fmt.Println()
+		// Load the committed baseline before writing the fresh sweep:
+		// with -json both use the BENCH_batching.json name, and a
+		// compare against a just-overwritten file would always pass.
+		var batchBase *bench.BatchingBaseline
+		if *baseline != "" && strings.EqualFold(*exp, "batching") {
+			b, err := bench.LoadBatchingBaseline(*baseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			batchBase = b
+		}
+		pts, err := bench.BatchingSweep()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteBatchingSweep(os.Stdout, pts)
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, "BENCH_batching.json")
+			if err := bench.WriteBatchingBaseline(path, pts); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if batchBase != nil {
+			violations := bench.CompareBatchingBaseline(batchBase, pts, *tolerance)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "baseline breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s held (exact VMM-entry counts matched, cycles within %.0f%%) on all %d points\n",
+				*baseline, *tolerance, len(pts))
+		}
+		fmt.Println()
 	}
 	if run("emulation") {
 		any = true

@@ -69,6 +69,10 @@ type Options struct {
 	// campaigns, adding the §6.3 migration fault classes (link stall,
 	// mid-copy abort, pause/destroy failure) to the catalog.
 	MigrateFaults bool
+	// LazyMMU enables the kernels' lazy-MMU multicall batching (see
+	// guest.Config.LazyMMU). Off by default: the Table 1 reproduction
+	// measures the unbatched per-entry hypercall stream.
+	LazyMMU bool
 }
 
 func (o *Options) fill() {
@@ -133,7 +137,7 @@ func (s *System) buildNative(mercuryVO bool, opt Options) error {
 		obj = vo.NewDirect(s.M)
 	}
 	k, err := guest.Boot(s.M, guest.Config{
-		Name: "linux", VO: obj, Frames: s.M.Frames,
+		Name: "linux", VO: obj, Frames: s.M.Frames, LazyMMU: opt.LazyMMU,
 	})
 	if err != nil {
 		return err
@@ -147,7 +151,9 @@ func (s *System) buildNative(mercuryVO bool, opt Options) error {
 // buildMercury is M-N / M-V: the self-virtualizable system, optionally
 // switched to virtual mode after boot.
 func (s *System) buildMercury(mode core.Mode, opt Options) error {
-	mc, err := core.New(core.Config{Machine: s.M, Policy: opt.Policy})
+	mc, err := core.New(core.Config{
+		Machine: s.M, Policy: opt.Policy, LazyMMU: opt.LazyMMU,
+	})
 	if err != nil {
 		return err
 	}
@@ -187,7 +193,7 @@ func (s *System) buildXenDom0(opt Options) error {
 	}
 	k, err := guest.Boot(s.M, guest.Config{
 		Name: "xen-linux-dom0", VO: vo.NewVirtual(v, dom0),
-		Frames: dom0.Frames, Dom: dom0, VMM: v,
+		Frames: dom0.Frames, Dom: dom0, VMM: v, LazyMMU: opt.LazyMMU,
 	})
 	if err != nil {
 		return err
@@ -240,7 +246,7 @@ func (s *System) buildXenDomU(opt Options) error {
 	}
 	domUK, err := guest.Boot(s.M, guest.Config{
 		Name: "xen-linux-domU", VO: vo.NewVirtual(v, domU),
-		Frames: domU.Frames, Dom: domU, VMM: v,
+		Frames: domU.Frames, Dom: domU, VMM: v, LazyMMU: opt.LazyMMU,
 	})
 	if err != nil {
 		return err
@@ -255,7 +261,9 @@ func (s *System) buildXenDomU(opt Options) error {
 // buildMercuryDomU is M-U: Mercury switched to partial-virtual mode,
 // hosting an unmodified Xen-Linux domU through its backends.
 func (s *System) buildMercuryDomU(opt Options) error {
-	mc, err := core.New(core.Config{Machine: s.M, Policy: opt.Policy})
+	mc, err := core.New(core.Config{
+		Machine: s.M, Policy: opt.Policy, LazyMMU: opt.LazyMMU,
+	})
 	if err != nil {
 		return err
 	}
@@ -284,7 +292,7 @@ func (s *System) buildMercuryDomU(opt Options) error {
 	}
 	domUK, err := guest.Boot(s.M, guest.Config{
 		Name: "xen-linux-domU", VO: vo.NewVirtual(mc.VMM, domU),
-		Frames: domU.Frames, Dom: domU, VMM: mc.VMM,
+		Frames: domU.Frames, Dom: domU, VMM: mc.VMM, LazyMMU: opt.LazyMMU,
 	})
 	if err != nil {
 		return err

@@ -247,6 +247,11 @@ type Config struct {
 	// retry backoff (default DefaultBackoffSeed). Same seed, same
 	// machine: same retry schedule.
 	BackoffSeed uint64
+	// LazyMMU enables the kernel's lazy-MMU batching (see
+	// guest.Config.LazyMMU): MMU-heavy paths coalesce their sensitive
+	// stores into multicalls when the system runs virtualized. Off by
+	// default so the Table 1 reproduction measures the per-entry stream.
+	LazyMMU bool
 }
 
 // DefaultMaxDeferrals is the default retry budget for a deferred switch
@@ -287,6 +292,7 @@ func New(cfg Config) (*Mercury, error) {
 		VO:      nat,
 		Frames:  m.Frames,
 		HzTicks: cfg.KernelHz,
+		LazyMMU: cfg.LazyMMU,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: booting kernel: %w", err)

@@ -236,8 +236,18 @@ func (mc *Mercury) attach(c *hw.CPU, f *hw.TrapFrame, target Mode) error {
 	mc.fixupSelectors(c, hw.PL0, hw.PL1)
 	ph.End(c.Now())
 	ph = obs.Begin(col, c.ID, c.Now(), "phase/interrupt-rebind")
-	v.HypSetTrapTable(c, mc.Dom, k.TrapGates())
-	v.HypBindVirqTimer(c, mc.Dom, k.TimerUpcall())
+	// One multicall registers the trap table and rebinds the virtual
+	// timer in a single VMM entry instead of two world switches.
+	var rebind xen.Multicall
+	rebind.AddSetTrapTable(k.TrapGates())
+	rebind.AddBindVirqTimer(k.TimerUpcall())
+	if err := v.HypMulticall(c, mc.Dom, &rebind); err != nil {
+		ph.End(c.Now())
+		k.GDT.SetKernelDPL(hw.PL0)
+		mc.fixupSelectors(c, hw.PL1, hw.PL0)
+		rollback()
+		return fmt.Errorf("attach: interrupt rebind: %w", err)
+	}
 	ph.End(c.Now())
 
 	// -- shadow mode only: hardware must leave the guest's own tables

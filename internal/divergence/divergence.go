@@ -43,6 +43,7 @@ type probe struct {
 
 	// VMM interactions (zero on N-L, where no VMM exists).
 	hypercalls, mmuUpdates, faultBounces uint64
+	multicalls, multicallOps             uint64
 
 	// Interrupt-delivery latency tail (cycles from LAPIC post / timer
 	// deadline to guest handler entry).
@@ -79,6 +80,8 @@ func capture(s *bench.System, col *obs.Collector, elapsed uint64) probe {
 		p.hypercalls = s.Dom.Stats.Hypercalls.Load()
 		p.mmuUpdates = s.Dom.Stats.MMUUpdates.Load()
 		p.faultBounces = s.Dom.Stats.FaultBounces.Load()
+		p.multicalls = s.Dom.Stats.Multicalls.Load()
+		p.multicallOps = s.Dom.Stats.MulticallOps.Load()
 	}
 	irq := col.Registry.Histogram("hw", "irq_delivery_cycles")
 	p.irqP50 = irq.Quantile(0.50)
@@ -94,6 +97,9 @@ func runSystem(key bench.SystemKey, cfg Config) (probe, error) {
 		MemBytes:  cfg.MemBytes,
 		Collector: col,
 		Policy:    core.TrackRecompute,
+		// Batching on: the observatory proves the lazy-MMU multicall
+		// path stays logically transparent (exact counts still match).
+		LazyMMU: true,
 	})
 	if err != nil {
 		return probe{}, fmt.Errorf("divergence: building %s: %w", key, err)
@@ -168,6 +174,8 @@ func buildRows(nl, mn, mv probe) []Row {
 		row("xen/hypercalls", false, nl.hypercalls, mn.hypercalls, mv.hypercalls),
 		row("xen/mmu_updates", true, nl.mmuUpdates, mn.mmuUpdates, mv.mmuUpdates),
 		row("xen/fault_bounces", true, nl.faultBounces, mn.faultBounces, mv.faultBounces),
+		row("xen/multicalls", true, nl.multicalls, mn.multicalls, mv.multicalls),
+		row("xen/multicall_ops", true, nl.multicallOps, mn.multicallOps, mv.multicallOps),
 		row("hw/irq_p50_cycles", false,
 			uint64(nl.irqP50), uint64(mn.irqP50), uint64(mv.irqP50)),
 		row("hw/irq_p99_cycles", false,
@@ -185,6 +193,7 @@ func switchProbe(pol core.TrackingPolicy, cfg Config) (SwitchProbe, error) {
 		MemBytes:  cfg.MemBytes,
 		Collector: col,
 		Policy:    pol,
+		LazyMMU:   true,
 	})
 	if err != nil {
 		return SwitchProbe{}, fmt.Errorf("divergence: building M-N (%s): %w", pol, err)

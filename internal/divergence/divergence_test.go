@@ -2,6 +2,7 @@ package divergence
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -147,7 +148,8 @@ func TestBaselineRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped baseline not clean: %v", v)
 	}
 
-	bad := bytes.Replace(buf.Bytes(), []byte(`"schema": 1`), []byte(`"schema": 99`), 1)
+	bad := bytes.Replace(buf.Bytes(),
+		[]byte(fmt.Sprintf(`"schema": %d`, ReportSchema)), []byte(`"schema": 99`), 1)
 	if _, err := LoadReport(bad); err == nil {
 		t.Fatal("foreign schema accepted")
 	}

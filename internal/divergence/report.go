@@ -8,8 +8,8 @@ import (
 )
 
 // ReportSchema versions the baseline format; Compare refuses to diff
-// across schema changes.
-const ReportSchema = 1
+// across schema changes. v2: lazy-MMU batching on, multicall rows added.
+const ReportSchema = 2
 
 // DefaultTolerancePct bounds the drift Compare accepts on time-derived
 // (non-exact) probes.

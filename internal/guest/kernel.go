@@ -32,6 +32,12 @@ type Config struct {
 	// services (backends) and never runs its own scheduler or timer
 	// tick — the passive dom0 of the X-U and M-U configurations.
 	ServiceOnly bool
+	// LazyMMU enables lazy-MMU batching: the MMU-heavy paths (fork's
+	// entry stream, munmap's zap, mprotect, exit_mmap) open a lazy
+	// section so a virtualized kernel pays one multicall per storm
+	// instead of one hypercall per entry. Off by default — the Table 1
+	// reproduction measures the unbatched per-entry stream.
+	LazyMMU bool
 }
 
 // DefaultHzTicks is the 100 Hz timer frequency used in the evaluation.
@@ -78,6 +84,9 @@ type Kernel struct {
 
 	timers  *timerWheel
 	HzTicks uint64
+
+	// LazyMMU mirrors Config.LazyMMU.
+	LazyMMU bool
 
 	// netID is this kernel's link-layer address.
 	netID byte
@@ -131,6 +140,7 @@ func Boot(m *hw.Machine, cfg Config) (*Kernel, error) {
 		cur:      make([]*Proc, len(m.CPUs)),
 		pageRefs: make(map[hw.PFN]int),
 		HzTicks:  cfg.HzTicks,
+		LazyMMU:  cfg.LazyMMU,
 	}
 	k.lk.savedIF = make([]bool, len(m.CPUs))
 	if cfg.VO == nil {
@@ -325,10 +335,31 @@ func (k *Kernel) directWriter() pgtable.WriteFn {
 }
 
 // voWriter returns a writer routing stores through the current
-// virtualization object (for live trees).
+// virtualization object (for live trees). The page-table walker
+// re-reads the entry it just wrote (a structural PDE store installs
+// the table the next step descends into), so inside a lazy-MMU section
+// the deferred store must land before the writer returns.
 func (k *Kernel) voWriter(c *hw.CPU) pgtable.WriteFn {
 	return func(table hw.PFN, idx int, e hw.PTE) {
-		k.VO().WritePTE(c, table, idx, e)
+		o := k.VO()
+		o.WritePTE(c, table, idx, e)
+		o.FlushLazyMMU(c)
+	}
+}
+
+// lazyBegin opens a lazy-MMU section around an MMU-heavy path when
+// batching is enabled. The section's reference (held by the VO) also
+// keeps a mode switch from committing mid-storm.
+func (k *Kernel) lazyBegin(c *hw.CPU) {
+	if k.LazyMMU {
+		k.VO().BeginLazyMMU(c)
+	}
+}
+
+// lazyEnd closes the section, draining any deferred operations.
+func (k *Kernel) lazyEnd(c *hw.CPU) {
+	if k.LazyMMU {
+		k.VO().EndLazyMMU(c)
 	}
 }
 

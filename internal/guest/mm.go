@@ -235,6 +235,8 @@ func (as *AddrSpace) MmapAnon(c *hw.CPU, pages int, prot Prot, populate bool) hw
 	if !populate {
 		return base
 	}
+	k.lazyBegin(c)
+	defer k.lazyEnd(c)
 	batch := make([]xen.MMUUpdate, 0, pages)
 	for i := 0; i < pages; i++ {
 		va := base + hw.VirtAddr(i<<hw.PageShift)
@@ -285,6 +287,7 @@ func (as *AddrSpace) Munmap(c *hw.CPU, base hw.VirtAddr) {
 	// zap_pte_range: each present entry is cleared with an individual
 	// sensitive store (pinned tables leave no raw-write shortcut).
 	var frames []hw.PFN
+	k.lazyBegin(c)
 	as.PT.VisitRange(v.Start, v.End, func(m pgtable.Mapping) bool {
 		c.Charge(k.M.Costs.UnmapPerPage)
 		k.VO().WritePTE(c, m.Slot.Table, m.Slot.Index, 0)
@@ -292,6 +295,10 @@ func (as *AddrSpace) Munmap(c *hw.CPU, base hw.VirtAddr) {
 		as.rss--
 		return true
 	})
+	// Drain before the frames are released: a deferred clear must reach
+	// the VMM while the old frame's accounting references are still the
+	// ones it will drop.
+	k.lazyEnd(c)
 	for _, pfn := range frames {
 		k.unrefPage(pfn)
 	}
@@ -308,6 +315,8 @@ func (as *AddrSpace) Mprotect(c *hw.CPU, base hw.VirtAddr, prot Prot) {
 		panic(fmt.Sprintf("guest: mprotect of unmapped base %#x", base))
 	}
 	v.Prot = prot
+	k.lazyBegin(c)
+	defer k.lazyEnd(c)
 	batch := make([]xen.MMUUpdate, 0, 8)
 	as.PT.VisitRange(v.Start, v.End, func(m pgtable.Mapping) bool {
 		cow := m.PTE.Cow()
@@ -335,6 +344,8 @@ func (as *AddrSpace) clone(c *hw.CPU) *AddrSpace {
 	if err != nil {
 		panic(fmt.Sprintf("guest: fork: %v", err))
 	}
+	k.lazyBegin(c)
+	defer k.lazyEnd(c)
 	k.VO().RegisterRoot(c, childPT.Root)
 	wr := k.voWriter(c)
 	as.PT.Visit(func(m pgtable.Mapping) bool {
@@ -371,6 +382,7 @@ func (as *AddrSpace) clone(c *hw.CPU) *AddrSpace {
 // and its table frames freed.
 func (k *Kernel) releaseAddrSpace(c *hw.CPU, as *AddrSpace) {
 	var frames []hw.PFN
+	k.lazyBegin(c)
 	as.PT.Visit(func(m pgtable.Mapping) bool {
 		c.Charge(k.M.Costs.UnmapPerPage / 2)
 		k.VO().WritePTE(c, m.Slot.Table, m.Slot.Index, 0)
@@ -378,6 +390,9 @@ func (k *Kernel) releaseAddrSpace(c *hw.CPU, as *AddrSpace) {
 		return true
 	})
 	k.VO().ReleaseRoot(c, as.PT.Root)
+	// Drain the deferred zap + unpin before the table and data frames go
+	// back to the allocator (see Munmap).
+	k.lazyEnd(c)
 	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
 	for _, pfn := range frames {
 		k.unrefPage(pfn)

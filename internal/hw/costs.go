@@ -51,9 +51,14 @@ type CostModel struct {
 
 	// --- VMM-mediated costs (paid only in virtualized modes) ---
 
-	WorldSwitch     Cycles // guest<->VMM transition (trap in + return)
-	HypercallBase   Cycles // fixed cost of one hypercall (on top of WorldSwitch)
-	MMUUpdateEntry  Cycles // validating one PTE update inside the VMM
+	WorldSwitch    Cycles // guest<->VMM transition (trap in + return)
+	HypercallBase  Cycles // fixed cost of one hypercall (on top of WorldSwitch)
+	MMUUpdateEntry Cycles // validating one PTE update inside the VMM
+	MulticallPerOp Cycles // dispatching one op inside a multicall batch
+	// (argument fetch + table decode; replaces the per-op
+	// WorldSwitch+HypercallBase that an unbatched stream pays)
+	MulticallEnqueue Cycles // guest-side append of one op into a lazy
+	// multicall buffer (the xen_mc_batch pattern)
 	PTValidatePin   Cycles // validating one present entry while pinning a PT page
 	FaultBounce     Cycles // VMM receiving a guest fault and bouncing it back
 	ShadowPerEntry  Cycles // translating one entry into a shadow table
@@ -156,21 +161,23 @@ func DefaultCosts() *CostModel {
 
 		PTEWriteNative: 12,
 
-		WorldSwitch:     850,
-		HypercallBase:   400,
-		MMUUpdateEntry:  260,
-		PTValidatePin:   130,
-		FaultBounce:     1400,
-		ShadowPerEntry:  190,
-		ShadowPerTable:  700,
-		VCPUStateSwitch: 7000,
-		EventSend:       350,
-		EventDeliver:    800,
-		GrantMap:        450,
-		RingPut:         120,
-		RingGet:         120,
-		DomSwitch:       1100,
-		DomSchedLatency: 52_000, // ~17 us to schedule the target domain
+		WorldSwitch:      850,
+		HypercallBase:    400,
+		MMUUpdateEntry:   260,
+		MulticallPerOp:   40,
+		MulticallEnqueue: 8,
+		PTValidatePin:    130,
+		FaultBounce:      1400,
+		ShadowPerEntry:   190,
+		ShadowPerTable:   700,
+		VCPUStateSwitch:  7000,
+		EventSend:        350,
+		EventDeliver:     800,
+		GrantMap:         450,
+		RingPut:          120,
+		RingGet:          120,
+		DomSwitch:        1100,
+		DomSchedLatency:  52_000, // ~17 us to schedule the target domain
 
 		VOIndirect:   14,
 		VORefCount:   24,
@@ -178,9 +185,9 @@ func DefaultCosts() *CostModel {
 
 		FrameValidate:      95,
 		FrameRelease:       42,
-		FrameMerge:         18,
+		FrameMerge:         6,
 		JournalAppend:      9,
-		JournalReplayEntry: 75,
+		JournalReplayEntry: 48,
 		SelectorFixup:      160,
 		StateReload:        2600,
 

@@ -173,18 +173,35 @@ func verifyTableFrame(src, dst *hw.PhysMem, pfn, tgt hw.PFN, delta int64) error 
 func repinRoots(c *hw.CPU, txn *Txn, dst *xen.VMM, into *xen.Domain,
 	roots []hw.PFN, delta int64) error {
 
+	// Pin the whole ladder in one multicall: the pins happen inside the
+	// stop-and-copy window, so amortizing the world switch across the
+	// roots comes straight off downtime.
+	var mc xen.Multicall
+	pinned := make([]hw.PFN, 0, len(roots))
 	for _, root := range roots {
 		newRoot := hw.PFN(int64(root) + delta)
 		if into.HasPinned(newRoot) {
 			continue // restored onto a domain that still holds the pin
 		}
-		if err := dst.HypPinTable(c, into, newRoot); err != nil {
-			return fmt.Errorf("migrate: re-pinning root %d on destination: %w", newRoot, err)
-		}
-		nr := newRoot
+		mc.AddPin(newRoot)
+		pinned = append(pinned, newRoot)
+	}
+	err := dst.HypMulticall(c, into, &mc)
+	// Journal an unpin for every root the multicall actually applied —
+	// on a mid-batch failure the Applied prefix took its type refs and
+	// a later abort must release them.
+	for _, nr := range pinned[:mc.Applied] {
+		nr := nr
 		txn.Journal(fmt.Sprintf("pin-root-%d", nr), func() error {
 			return dst.HypUnpinTable(c, into, nr)
 		})
+	}
+	if err != nil {
+		failed := pinned[len(pinned)-1]
+		if mc.Applied < len(pinned) {
+			failed = pinned[mc.Applied]
+		}
+		return fmt.Errorf("migrate: re-pinning root %d on destination: %w", failed, err)
 	}
 	return nil
 }

@@ -1,0 +1,102 @@
+package vo
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// The allocation gates for the VO write paths: WritePTE and
+// WritePTEBatch must not touch the heap in any mode, in or out of a
+// lazy-MMU section. A PTE store sits on fork/exec/mmap's critical path;
+// an allocation there shows up as GC pressure in every workload the
+// paper measures.
+
+func TestDirectWritePTEAllocFree(t *testing.T) {
+	m, c := nativeEnv()
+	o := NewDirect(m)
+	table := m.Frames.Alloc()
+	e := hw.MakePTE(7, hw.PTEPresent)
+	batch := []xen.MMUUpdate{
+		{Table: table, Index: 2, New: e},
+		{Table: table, Index: 3, New: e},
+	}
+	if a := testing.AllocsPerRun(100, func() { o.WritePTE(c, table, 0, e) }); a != 0 {
+		t.Errorf("direct WritePTE allocates %.1f per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { o.WritePTEBatch(c, batch) }); a != 0 {
+		t.Errorf("direct WritePTEBatch allocates %.1f per run, want 0", a)
+	}
+}
+
+func TestNativeWritePTEAllocFree(t *testing.T) {
+	m, c := nativeEnv()
+	o := NewNative(m)
+	table := m.Frames.Alloc()
+	e := hw.MakePTE(7, hw.PTEPresent)
+	batch := []xen.MMUUpdate{
+		{Table: table, Index: 2, New: e},
+		{Table: table, Index: 3, New: e},
+	}
+	if a := testing.AllocsPerRun(100, func() { o.WritePTE(c, table, 0, e) }); a != 0 {
+		t.Errorf("native WritePTE allocates %.1f per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { o.WritePTEBatch(c, batch) }); a != 0 {
+		t.Errorf("native WritePTEBatch allocates %.1f per run, want 0", a)
+	}
+}
+
+// virtualWriteEnv builds a virtual object with one registered root and
+// one live L1 table ready for repeated same-value stores.
+func virtualWriteEnv(t *testing.T) (*Virtual, *hw.CPU, hw.PFN, hw.PTE) {
+	t.Helper()
+	v, d, c := virtualEnv(t)
+	o := NewVirtual(v, d)
+	alloc := func() hw.PFN {
+		pfn := d.Frames.Alloc()
+		v.M.Mem.ZeroFrame(pfn)
+		return pfn
+	}
+	root := alloc()
+	o.RegisterRoot(c, root)
+	pt := alloc()
+	o.WritePTE(c, root, 0, hw.MakePTE(pt, hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+	e := hw.MakePTE(alloc(), hw.PTEPresent|hw.PTEUser)
+	o.WritePTE(c, pt, 0, e)
+	return o, c, pt, e
+}
+
+func TestVirtualWritePTEAllocFree(t *testing.T) {
+	o, c, pt, e := virtualWriteEnv(t)
+	batch := []xen.MMUUpdate{
+		{Table: pt, Index: 0, New: e},
+		{Table: pt, Index: 0, New: e},
+	}
+	if a := testing.AllocsPerRun(100, func() { o.WritePTE(c, pt, 0, e) }); a != 0 {
+		t.Errorf("virtual eager WritePTE allocates %.1f per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { o.WritePTEBatch(c, batch) }); a != 0 {
+		t.Errorf("virtual eager WritePTEBatch allocates %.1f per run, want 0", a)
+	}
+}
+
+func TestVirtualLazyWritePTEAllocFree(t *testing.T) {
+	o, c, pt, e := virtualWriteEnv(t)
+	batch := []xen.MMUUpdate{
+		{Table: pt, Index: 0, New: e},
+		{Table: pt, Index: 0, New: e},
+	}
+	o.BeginLazyMMU(c)
+	defer o.EndLazyMMU(c)
+	a := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4; i++ {
+			o.WritePTE(c, pt, 0, e)
+		}
+		o.WritePTEBatch(c, batch)
+		o.FlushLazyMMU(c)
+	})
+	if a != 0 {
+		t.Errorf("virtual lazy enqueue+flush allocates %.1f per run, want 0", a)
+	}
+}

@@ -94,4 +94,14 @@ func (d *Direct) InvalidatePage(c *hw.CPU, va hw.VirtAddr) {
 	c.Invlpg(va)
 }
 
+// BeginLazyMMU is a no-op: bare hardware has nothing to batch and no
+// reference counting.
+func (d *Direct) BeginLazyMMU(c *hw.CPU) { d.Stats.Calls.Add(1) }
+
+// EndLazyMMU is a no-op.
+func (d *Direct) EndLazyMMU(c *hw.CPU) { d.Stats.Calls.Add(1) }
+
+// FlushLazyMMU is a no-op.
+func (d *Direct) FlushLazyMMU(c *hw.CPU) {}
+
 var _ Object = (*Direct)(nil)

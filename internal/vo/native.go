@@ -30,20 +30,27 @@ type Native struct {
 	// registration/release) degrade the epoch to full recompute.
 	Journal *xen.DirtyJournal
 	Stats   Stats
+
+	// lazyDepth is the per-CPU lazy-MMU nesting depth. Native executes
+	// eagerly — the depth only carries the operation reference the
+	// outermost BeginLazyMMU takes, matching the virtual object's
+	// refcount behaviour so mode switches see the same drain points.
+	lazyDepth []int
 }
 
 // NewNative returns Mercury's native-mode object.
 func NewNative(m *hw.Machine) *Native {
-	return &Native{d: NewDirect(m), Stats: newStats(m, "native")}
+	return &Native{d: NewDirect(m), Stats: newStats(m, "native"),
+		lazyDepth: make([]int, len(m.CPUs))}
 }
 
-// call wraps one operation: object-table indirection plus reference
-// counting. The returned closure is the exit.
-func (n *Native) call(c *hw.CPU) func() {
+// callEnter is the operation prologue: object-table indirection plus
+// reference counting. Pair with `defer n.exit()` — unlike a returned
+// closure, the plain defer is open-coded and allocation-free.
+func (n *Native) callEnter(c *hw.CPU) {
 	n.Stats.Calls.Add(1)
 	n.enter() // count first: the charges below may deliver interrupts
 	c.Charge(n.d.M.Costs.VOIndirect + n.d.M.Costs.VORefCount)
-	return n.exit
 }
 
 // Name identifies the object.
@@ -54,32 +61,37 @@ func (n *Native) Virtualized() bool { return false }
 
 // SetInterrupts executes cli/sti through the object table.
 func (n *Native) SetInterrupts(c *hw.CPU, on bool) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.d.SetInterrupts(c, on)
 }
 
 // LoadInterruptTable executes lidt through the object table.
 func (n *Native) LoadInterruptTable(c *hw.CPU, t *hw.IDT) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.d.LoadInterruptTable(c, t)
 }
 
 // ArmTimer programs the APIC timer through the object table.
 func (n *Native) ArmTimer(c *hw.CPU, deadline hw.Cycles) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.d.ArmTimer(c, deadline)
 }
 
 // ContextSwitch loads CR3 through the object table.
 func (n *Native) ContextSwitch(c *hw.CPU, root hw.PFN) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.d.ContextSwitch(c, root)
 }
 
 // WritePTE stores the entry, mirroring it into the VMM under active
 // tracking.
 func (n *Native) WritePTE(c *hw.CPU, table hw.PFN, idx int, e hw.PTE) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.Stats.PTEWrites.Add(1)
 	if n.Track != nil {
 		if err := n.Track.V.MirrorPTEWrite(c, n.Track.D,
@@ -98,7 +110,8 @@ func (n *Native) WritePTE(c *hw.CPU, table hw.PFN, idx int, e hw.PTE) {
 
 // WritePTEBatch stores each entry (mirroring under active tracking).
 func (n *Native) WritePTEBatch(c *hw.CPU, batch []xen.MMUUpdate) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.Stats.PTEWrites.Add(uint64(len(batch)))
 	for _, u := range batch {
 		if n.Track != nil {
@@ -121,7 +134,8 @@ func (n *Native) WritePTEBatch(c *hw.CPU, batch []xen.MMUUpdate) {
 // the journal policy a new root is a structural change the ring cannot
 // express, degrading the epoch to full recompute.
 func (n *Native) RegisterRoot(c *hw.CPU, root hw.PFN) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	if n.Track != nil {
 		if err := n.Track.V.MirrorPinRoot(c, n.Track.D, root); err != nil {
 			panic(fmt.Sprintf("vo: active tracking pin: %v", err))
@@ -135,7 +149,8 @@ func (n *Native) RegisterRoot(c *hw.CPU, root hw.PFN) {
 // ReleaseRoot unpins the root in the mirror under active tracking; see
 // RegisterRoot for the journal-policy semantics.
 func (n *Native) ReleaseRoot(c *hw.CPU, root hw.PFN) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	if n.Track != nil {
 		if err := n.Track.V.MirrorUnpinRoot(c, n.Track.D, root); err != nil {
 			panic(fmt.Sprintf("vo: active tracking unpin: %v", err))
@@ -148,14 +163,40 @@ func (n *Native) ReleaseRoot(c *hw.CPU, root hw.PFN) {
 
 // FlushTLB flushes through the object table.
 func (n *Native) FlushTLB(c *hw.CPU) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.d.FlushTLB(c)
 }
 
 // InvalidatePage executes invlpg through the object table.
 func (n *Native) InvalidatePage(c *hw.CPU, va hw.VirtAddr) {
-	defer n.call(c)()
+	n.callEnter(c)
+	defer n.exit()
 	n.d.InvalidatePage(c, va)
 }
+
+// BeginLazyMMU opens a lazy-MMU section. Native has nothing to defer,
+// but the outermost Begin still takes an operation reference so the
+// section reads as in-flight sensitive work to the mode-switch scan.
+func (n *Native) BeginLazyMMU(c *hw.CPU) {
+	if n.lazyDepth[c.ID] == 0 {
+		n.callEnter(c)
+	}
+	n.lazyDepth[c.ID]++
+}
+
+// EndLazyMMU closes the section.
+func (n *Native) EndLazyMMU(c *hw.CPU) {
+	if n.lazyDepth[c.ID] <= 0 {
+		panic("vo: EndLazyMMU without matching BeginLazyMMU")
+	}
+	n.lazyDepth[c.ID]--
+	if n.lazyDepth[c.ID] == 0 {
+		n.exit()
+	}
+}
+
+// FlushLazyMMU is a no-op: native operations execute eagerly.
+func (n *Native) FlushLazyMMU(c *hw.CPU) {}
 
 var _ Object = (*Native)(nil)

@@ -51,6 +51,25 @@ type Object interface {
 	FlushTLB(c *hw.CPU)
 	// InvalidatePage drops one local translation.
 	InvalidatePage(c *hw.CPU, va hw.VirtAddr)
+
+	// --- lazy-MMU batching (the Linux xen_mc_batch pattern) ---
+	//
+	// Between BeginLazyMMU and EndLazyMMU, MMU operations on this CPU
+	// may be enqueued into a per-CPU multicall buffer instead of being
+	// issued immediately; the buffer drains in one VMM entry at explicit
+	// boundaries (TLB flush, context switch, EndLazyMMU, FlushLazyMMU).
+	// Sections nest; only the virtual object actually batches — native
+	// and direct execute eagerly, so the section is free there. The
+	// caller must call FlushLazyMMU before reading any state a deferred
+	// operation could leave stale (e.g. a just-written page-table
+	// entry).
+
+	// BeginLazyMMU opens a lazy-MMU section on c.
+	BeginLazyMMU(c *hw.CPU)
+	// EndLazyMMU closes the section, draining anything still enqueued.
+	EndLazyMMU(c *hw.CPU)
+	// FlushLazyMMU drains the buffer without closing the section.
+	FlushLazyMMU(c *hw.CPU)
 }
 
 // Stats counts operations through a virtualization object. The fields

@@ -89,6 +89,8 @@ type Domain struct {
 // vcpus/CPUs update them concurrently).
 type DomainStats struct {
 	Hypercalls   atomic.Uint64
+	Multicalls   atomic.Uint64 // multicall batches issued by this domain
+	MulticallOps atomic.Uint64 // ops carried inside those batches
 	MMUUpdates   atomic.Uint64
 	FaultBounces atomic.Uint64
 	EventsIn     atomic.Uint64

@@ -90,10 +90,14 @@ type FrameTable struct {
 func NewFrameTable(mem *hw.PhysMem) *FrameTable {
 	n := mem.NumFrames()
 	return &FrameTable{
-		owner:      make([]DomID, n),
-		acct:       make([]frameAcct, n),
-		mem:        mem,
+		owner: make([]DomID, n),
+		acct:  make([]frameAcct, n),
+		mem:   mem,
+		// touched is pre-sized to the table: the first attach dirties a
+		// large fraction of the working set, and append-growth there
+		// would reallocate the dirty set several times mid-recompute.
 		touchEpoch: make([]uint64, n),
+		touched:    make([]hw.PFN, 0, n),
 		epoch:      1,
 	}
 }

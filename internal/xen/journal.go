@@ -61,6 +61,31 @@ type DirtyJournal struct {
 	structural bool
 	snapshot   bool // the frozen frame table matches the arm point
 	stats      JournalStats
+
+	// Reusable replay scratch (guarded by mu, sized lazily on first
+	// use): slot condensation runs through an epoch-stamped
+	// open-addressing hash instead of a per-call map, and the frame
+	// deltas accumulate in NumFrames-indexed arrays. Replay therefore
+	// performs zero heap allocation after warm-up — the attach path's
+	// AllocsPerRun gate depends on it.
+	slots      []journalSlot
+	slotHash   []slotHashCell
+	hashEpoch  uint64
+	deltaRefs  []int64
+	deltaWr    []int64
+	deltaEpoch []uint64
+	deltaSeen  uint64
+	deltaOrder []hw.PFN
+	finals     []int32
+}
+
+// slotHashCell is one open-addressing cell of the condensation hash:
+// epoch-stamped so clearing between replays is a counter bump, not a
+// sweep.
+type slotHashCell struct {
+	epoch uint64
+	key   uint64
+	slot  int32
 }
 
 // DefaultJournalEntries is the default ring capacity.
@@ -189,18 +214,17 @@ func (j *DirtyJournal) CorruptEntryPick(pick func(n int) int) (func(), error) {
 		return nil, fmt.Errorf("xen: journal empty, nothing to corrupt")
 	}
 	// Final-store entries: a corrupted superseded entry would be masked
-	// by slot condensation.
-	last := make(map[[2]uint64]int)
-	for i, e := range j.entries {
-		last[[2]uint64{uint64(e.Table), uint64(e.Index)}] = i
+	// by slot condensation. Condense through the shared scratch and
+	// collect each slot's last entry index, sorted ascending — the same
+	// candidate order the old map-based scan produced, which seeded
+	// chaos campaigns replay deterministically.
+	j.condenseLocked()
+	j.finals = j.finals[:0]
+	for si := range j.slots {
+		j.finals = append(j.finals, j.slots[si].last)
 	}
-	var finals []int
-	for i := range j.entries {
-		if last[[2]uint64{uint64(j.entries[i].Table), uint64(j.entries[i].Index)}] == i {
-			finals = append(finals, i)
-		}
-	}
-	victim := finals[pick(len(finals))]
+	sortInt32s(j.finals)
+	victim := int(j.finals[pick(len(j.finals))])
 	saved := j.entries[victim]
 	j.entries[victim].New = saved.New ^ hw.PTE(1<<hw.PageShift) // point one frame over
 	return func() {
@@ -227,12 +251,80 @@ func (v *VMM) JournalDetach(c *hw.CPU, d *Domain) {
 }
 
 // journalSlot is one condensed slot: the first recorded old value and
-// the last recorded new value of a (table, index) pair.
+// the last recorded new value of a (table, index) pair, plus the index
+// of the last entry that stored to it (fault injection targets final
+// stores; superseded ones are masked by condensation).
 type journalSlot struct {
 	table    hw.PFN
 	idx      int
 	firstOld hw.PTE
 	lastNew  hw.PTE
+	last     int32
+}
+
+// ensureScratch sizes the reusable replay scratch once. The hash is a
+// power of two at least twice the ring capacity, so its load factor
+// stays at or below one half.
+func (j *DirtyJournal) ensureScratch() {
+	if j.slotHash != nil {
+		return
+	}
+	size := 2
+	for size < 2*j.capacity {
+		size <<= 1
+	}
+	j.slotHash = make([]slotHashCell, size)
+	j.slots = make([]journalSlot, 0, j.capacity)
+	n := j.ft.NumFrames()
+	j.deltaRefs = make([]int64, n)
+	j.deltaWr = make([]int64, n)
+	j.deltaEpoch = make([]uint64, n)
+	j.deltaOrder = make([]hw.PFN, 0, 2*j.capacity)
+	j.finals = make([]int32, 0, j.capacity)
+}
+
+// condenseLocked rebuilds j.slots from j.entries in first-touch order
+// (j.mu held). Allocation-free after warm-up: slots are reused and the
+// hash clears by epoch bump.
+func (j *DirtyJournal) condenseLocked() {
+	j.ensureScratch()
+	j.slots = j.slots[:0]
+	j.hashEpoch++
+	mask := uint64(len(j.slotHash) - 1)
+	for ei := range j.entries {
+		e := &j.entries[ei]
+		key := uint64(e.Table)<<16 | uint64(e.Index)
+		pos := (key * 0x9E3779B97F4A7C15 >> 32) & mask
+		for {
+			cell := &j.slotHash[pos]
+			if cell.epoch != j.hashEpoch {
+				*cell = slotHashCell{epoch: j.hashEpoch, key: key, slot: int32(len(j.slots))}
+				j.slots = append(j.slots, journalSlot{
+					table: e.Table, idx: e.Index,
+					firstOld: e.Old, lastNew: e.New, last: int32(ei),
+				})
+				break
+			}
+			if cell.key == key {
+				s := &j.slots[cell.slot]
+				s.lastNew = e.New
+				s.last = int32(ei)
+				break
+			}
+			pos = (pos + 1) & mask
+		}
+	}
+}
+
+// deltaTouch marks pfn as carrying a delta this replay, zeroing its
+// accumulators on first touch.
+func (j *DirtyJournal) deltaTouch(pfn hw.PFN) {
+	if j.deltaEpoch[pfn] != j.deltaSeen {
+		j.deltaEpoch[pfn] = j.deltaSeen
+		j.deltaRefs[pfn] = 0
+		j.deltaWr[pfn] = 0
+		j.deltaOrder = append(j.deltaOrder, pfn)
+	}
 }
 
 // JournalReattach is the journal policy's attach path: replay the
@@ -288,44 +380,22 @@ func (v *VMM) journalFallback(c *hw.CPU, d *Domain, roots []hw.PFN, workers int)
 // memory — the corruption detector. Phase 2 accumulates the frame
 // deltas and validates them against the snapshot's type system. Phase 3
 // applies; nothing is written before everything has validated.
+//
+// All working state lives in the journal's reusable scratch, so replay
+// allocates nothing after its first run.
 func (v *VMM) replayLocked(c *hw.CPU, d *Domain, j *DirtyJournal) error {
 	v.lockMMU(c)
 	defer v.unlockMMU()
 
 	// Phase 1: condense, in first-touch order.
-	type slotKey struct {
-		table hw.PFN
-		idx   int
-	}
-	slots := make(map[slotKey]*journalSlot)
-	var order []slotKey
-	for _, e := range j.entries {
-		k := slotKey{e.Table, e.Index}
-		if s, ok := slots[k]; ok {
-			s.lastNew = e.New
-			continue
-		}
-		slots[k] = &journalSlot{table: e.Table, idx: e.Index, firstOld: e.Old, lastNew: e.New}
-		order = append(order, k)
-	}
-	c.Charge(v.M.Costs.JournalReplayEntry * hw.Cycles(len(order)))
-	j.stats.ReplaySlots += uint64(len(order))
+	j.condenseLocked()
+	c.Charge(v.M.Costs.JournalReplayEntry * hw.Cycles(len(j.slots)))
+	j.stats.ReplaySlots += uint64(len(j.slots))
 
-	type frameDelta struct {
-		refs int64
-		wr   int64
-	}
-	deltas := make(map[hw.PFN]*frameDelta)
-	dd := func(pfn hw.PFN) *frameDelta {
-		fd := deltas[pfn]
-		if fd == nil {
-			fd = &frameDelta{}
-			deltas[pfn] = fd
-		}
-		return fd
-	}
-	for _, k := range order {
-		s := slots[k]
+	j.deltaSeen++
+	j.deltaOrder = j.deltaOrder[:0]
+	for si := range j.slots {
+		s := &j.slots[si]
 		fi := v.FT.Get(s.table)
 		if fi.Type != FrameL1 || fi.TypeCount == 0 {
 			return fmt.Errorf("xen: journal replay: frame %d recorded as a table but snapshot says %s",
@@ -336,10 +406,11 @@ func (v *VMM) replayLocked(c *hw.CPU, d *Domain, j *DirtyJournal) error {
 				s.table, s.idx, uint64(cur), uint64(s.lastNew))
 		}
 		if s.firstOld.Present() {
-			fd := dd(s.firstOld.Frame())
-			fd.refs--
+			pfn := s.firstOld.Frame()
+			j.deltaTouch(pfn)
+			j.deltaRefs[pfn]--
 			if s.firstOld.Writable() {
-				fd.wr--
+				j.deltaWr[pfn]--
 			}
 		}
 		if s.lastNew.Present() {
@@ -351,48 +422,45 @@ func (v *VMM) replayLocked(c *hw.CPU, d *Domain, j *DirtyJournal) error {
 				return fmt.Errorf("xen: journal replay: dom%d mapping foreign frame %d (owner dom%d)",
 					d.ID, pfn, owner)
 			}
-			fd := dd(pfn)
-			fd.refs++
+			j.deltaTouch(pfn)
+			j.deltaRefs[pfn]++
 			if s.lastNew.Writable() {
-				fd.wr++
+				j.deltaWr[pfn]++
 			}
 		}
 	}
 
 	// Phase 2: validate deltas against the snapshot.
-	for pfn, fd := range deltas {
+	for _, pfn := range j.deltaOrder {
 		fi := v.FT.Get(pfn)
-		if fd.wr > 0 {
+		wr, refs := j.deltaWr[pfn], j.deltaRefs[pfn]
+		if wr > 0 {
 			// A new writable mapping: only legal on frames that are
 			// untyped or already writable — never on a live page table.
 			if fi.TypeCount > 0 && fi.Type != FrameWritable {
 				return errType(pfn, fi.Type, fi.TypeCount, FrameWritable)
 			}
 		}
-		if fd.wr < 0 {
-			if fi.Type != FrameWritable || int64(fi.TypeCount) < -fd.wr {
+		if wr < 0 {
+			if fi.Type != FrameWritable || int64(fi.TypeCount) < -wr {
 				return fmt.Errorf("xen: journal replay: dropping %d writable refs from frame %d (%s, count %d)",
-					-fd.wr, pfn, fi.Type, fi.TypeCount)
+					-wr, pfn, fi.Type, fi.TypeCount)
 			}
 		}
-		if fd.refs < 0 && int64(fi.TotalRefs) < -fd.refs {
+		if refs < 0 && int64(fi.TotalRefs) < -refs {
 			return fmt.Errorf("xen: journal replay: ref underflow on frame %d", pfn)
 		}
 	}
 
-	// Phase 3: apply in deterministic (first-touch) slot-delta order.
-	var apply []hw.PFN
-	for pfn := range deltas {
-		apply = append(apply, pfn)
-	}
+	// Phase 3: apply in frame order.
+	apply := j.deltaOrder
 	sortPFNs(apply)
 	for _, pfn := range apply {
-		fd := deltas[pfn]
 		fi := v.FT.Get(pfn)
-		fi.TotalRefs = uint32(int64(fi.TotalRefs) + fd.refs)
+		fi.TotalRefs = uint32(int64(fi.TotalRefs) + j.deltaRefs[pfn])
 		tc := int64(fi.TypeCount)
-		if fd.wr != 0 {
-			tc += fd.wr
+		if wr := j.deltaWr[pfn]; wr != 0 {
+			tc += wr
 			if tc > 0 {
 				fi.Type = FrameWritable
 			} else {
@@ -405,12 +473,62 @@ func (v *VMM) replayLocked(c *hw.CPU, d *Domain, j *DirtyJournal) error {
 	return nil
 }
 
-// sortPFNs sorts in place (insertion sort is fine at replay sizes, and
-// avoids importing sort for a hot-ish path).
+// sortPFNs sorts in place. Heapsort: in-place, allocation-free, and
+// O(n log n) even on the adversarial orders chaos campaigns produce —
+// the insertion sort it replaced went quadratic at full-ring sizes.
 func sortPFNs(p []hw.PFN) {
-	for i := 1; i < len(p); i++ {
-		for k := i; k > 0 && p[k] < p[k-1]; k-- {
-			p[k], p[k-1] = p[k-1], p[k]
+	n := len(p)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftPFNs(p, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		p[0], p[i] = p[i], p[0]
+		siftPFNs(p, 0, i)
+	}
+}
+
+func siftPFNs(p []hw.PFN, root, n int) {
+	for {
+		ch := 2*root + 1
+		if ch >= n {
+			return
 		}
+		if ch+1 < n && p[ch+1] > p[ch] {
+			ch++
+		}
+		if p[root] >= p[ch] {
+			return
+		}
+		p[root], p[ch] = p[ch], p[root]
+		root = ch
+	}
+}
+
+// sortInt32s is sortPFNs for entry indices.
+func sortInt32s(p []int32) {
+	n := len(p)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftInt32s(p, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		p[0], p[i] = p[i], p[0]
+		siftInt32s(p, 0, i)
+	}
+}
+
+func siftInt32s(p []int32, root, n int) {
+	for {
+		ch := 2*root + 1
+		if ch >= n {
+			return
+		}
+		if ch+1 < n && p[ch+1] > p[ch] {
+			ch++
+		}
+		if p[root] >= p[ch] {
+			return
+		}
+		p[root], p[ch] = p[ch], p[root]
+		root = ch
 	}
 }

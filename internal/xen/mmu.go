@@ -272,7 +272,8 @@ func (v *VMM) applyUpdate(c *hw.CPU, d *Domain, u MMUUpdate, charge bool) error 
 // fork/exec within a small factor of native instead of paying a world
 // switch per entry.
 func (v *VMM) HypMMUUpdate(c *hw.CPU, d *Domain, batch []MMUUpdate) error {
-	defer v.enter(c, d)()
+	fr := v.enterFast(c, d)
+	defer v.exitFast(c, d, fr)
 	v.lockMMU(c)
 	defer v.unlockMMU()
 	for _, u := range batch {
@@ -285,7 +286,8 @@ func (v *VMM) HypMMUUpdate(c *hw.CPU, d *Domain, batch []MMUUpdate) error {
 
 // HypPinTable is MMUEXT_PIN_L2_TABLE: validate a tree and pin its root.
 func (v *VMM) HypPinTable(c *hw.CPU, d *Domain, root hw.PFN) error {
-	defer v.enter(c, d)()
+	fr := v.enterFast(c, d)
+	defer v.exitFast(c, d, fr)
 	v.lockMMU(c)
 	defer v.unlockMMU()
 	return v.pinTable(c, d, root, true)
@@ -293,20 +295,19 @@ func (v *VMM) HypPinTable(c *hw.CPU, d *Domain, root hw.PFN) error {
 
 // HypUnpinTable is MMUEXT_UNPIN_TABLE.
 func (v *VMM) HypUnpinTable(c *hw.CPU, d *Domain, root hw.PFN) error {
-	defer v.enter(c, d)()
+	fr := v.enterFast(c, d)
+	defer v.exitFast(c, d, fr)
 	v.lockMMU(c)
 	defer v.unlockMMU()
 	return v.unpinTable(c, d, root, true)
 }
 
-// HypNewBaseptr is MMUEXT_NEW_BASEPTR: install a pinned root as the
-// guest's page-directory base. The VMM performs the privileged CR3 load.
-func (v *VMM) HypNewBaseptr(c *hw.CPU, d *Domain, root hw.PFN) error {
-	defer v.enter(c, d)()
-	v.lockMMU(c)
-	defer v.unlockMMU()
+// newBaseptrLocked installs root as the guest's page-directory base
+// (MMU lock held): auto-pin on first use as Xen does, then the
+// privileged CR3 load. Shared by HypNewBaseptr, HypContextSwitch and
+// the multicall dispatcher.
+func (v *VMM) newBaseptrLocked(c *hw.CPU, d *Domain, root hw.PFN) error {
 	if !d.pinnedRoots[root] {
-		// Xen auto-pins on first use; do the same.
 		if err := v.pinTable(c, d, root, true); err != nil {
 			return err
 		}
@@ -318,41 +319,43 @@ func (v *VMM) HypNewBaseptr(c *hw.CPU, d *Domain, root hw.PFN) error {
 	c.WriteCR3(hwRoot)
 	d.VCPU0().SetCR3(root)
 	return nil
+}
+
+// HypNewBaseptr is MMUEXT_NEW_BASEPTR: install a pinned root as the
+// guest's page-directory base. The VMM performs the privileged CR3 load.
+func (v *VMM) HypNewBaseptr(c *hw.CPU, d *Domain, root hw.PFN) error {
+	fr := v.enterFast(c, d)
+	defer v.exitFast(c, d, fr)
+	v.lockMMU(c)
+	defer v.unlockMMU()
+	return v.newBaseptrLocked(c, d, root)
 }
 
 // HypContextSwitch is the paravirtual context-switch multicall:
 // stack_switch plus MMUEXT_NEW_BASEPTR in one world switch, the way
 // Xen-Linux batches its __switch_to path.
 func (v *VMM) HypContextSwitch(c *hw.CPU, d *Domain, root hw.PFN) error {
-	defer v.enter(c, d)()
+	fr := v.enterFast(c, d)
+	defer v.exitFast(c, d, fr)
 	v.lockMMU(c)
 	defer v.unlockMMU()
 	c.Charge(v.M.Costs.MemWrite * 2)    // stack switch bookkeeping
 	c.Charge(v.M.Costs.VCPUStateSwitch) // segment/LDT/FPU state swap
-	if !d.pinnedRoots[root] {
-		if err := v.pinTable(c, d, root, true); err != nil {
-			return err
-		}
-	}
-	hwRoot, err := v.HWRoot(c, d, root)
-	if err != nil {
-		return err
-	}
-	c.WriteCR3(hwRoot)
-	d.VCPU0().SetCR3(root)
-	return nil
+	return v.newBaseptrLocked(c, d, root)
 }
 
 // HypTLBFlush is MMUEXT_TLB_FLUSH_LOCAL.
 func (v *VMM) HypTLBFlush(c *hw.CPU, d *Domain) {
-	defer v.enter(c, d)()
+	fr := v.enterFast(c, d)
+	defer v.exitFast(c, d, fr)
 	c.TLB.Flush()
 	c.Charge(v.M.Costs.TLBFlush)
 }
 
 // HypInvlpg is MMUEXT_INVLPG_LOCAL.
 func (v *VMM) HypInvlpg(c *hw.CPU, d *Domain, va hw.VirtAddr) {
-	defer v.enter(c, d)()
+	fr := v.enterFast(c, d)
+	defer v.exitFast(c, d, fr)
 	c.TLB.Invalidate(hw.VPNOf(va))
 	c.Charge(v.M.Costs.PrivInsn)
 }

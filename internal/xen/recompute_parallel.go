@@ -2,7 +2,6 @@ package xen
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/hw"
@@ -44,6 +43,19 @@ type deltaEntry struct {
 	refAdd    uint32
 	validated bool // this shard performed the 0->1 entry scan
 	pinned    bool
+}
+
+// mergeCell is one frame's accumulated cross-shard claim in the VMM's
+// reusable merge scratch (epoch-stamped: stale cells are dead, not
+// swept).
+type mergeCell struct {
+	epoch       uint64
+	typ         FrameType
+	typedShards uint32 // shards contributing a typed claim
+	typeAdd     uint32
+	refAdd      uint32
+	pinned      bool
+	nonWritable bool // some typed claim was L1/L2, not FrameWritable
 }
 
 // shardWalk walks a subset of roots against the frozen base table.
@@ -244,34 +256,45 @@ func (v *VMM) RecomputeFrameInfoParallel(c *hw.CPU, d *Domain, roots []hw.PFN, w
 		}
 	}
 
-	// Merge: collect every claimed frame, detect cross-shard conflicts.
-	// Two shards may both add FrameWritable refs to a shared data frame
-	// (pure counters, commutative); any other overlap on a typed claim
-	// means a page-table frame is reachable from more than one shard's
-	// trees, where shard-local freshness decisions diverge from the
-	// serial walk — redo serially, which is canonical.
-	merged := make(map[hw.PFN][]*deltaEntry)
-	var order []hw.PFN
+	// Merge: fold every shard's claims into the reusable epoch-stamped
+	// cell array (no per-call maps — the merge is on the attach hot
+	// path) and detect cross-shard conflicts. Two shards may both add
+	// FrameWritable refs to a shared data frame (pure counters,
+	// commutative); any other overlap on a typed claim means a
+	// page-table frame is reachable from more than one shard's trees,
+	// where shard-local freshness decisions diverge from the serial
+	// walk — redo serially, which is canonical.
+	if v.mergeCells == nil {
+		v.mergeCells = make([]mergeCell, v.FT.NumFrames())
+		v.mergeOrder = make([]hw.PFN, 0, v.FT.NumFrames())
+	}
+	v.mergeEpoch++
+	v.mergeOrder = v.mergeOrder[:0]
 	for _, sd := range deltas {
 		for _, pfn := range sd.order {
-			if _, ok := merged[pfn]; !ok {
-				order = append(order, pfn)
+			cell := &v.mergeCells[pfn]
+			if cell.epoch != v.mergeEpoch {
+				*cell = mergeCell{epoch: v.mergeEpoch}
+				v.mergeOrder = append(v.mergeOrder, pfn)
 			}
-			merged[pfn] = append(merged[pfn], sd.m[pfn])
-		}
-	}
-	for _, claims := range merged {
-		typed := 0
-		nonWritable := false
-		for _, e := range claims {
+			e := sd.m[pfn]
 			if e.typeAdd > 0 {
-				typed++
+				cell.typ = e.typ
+				cell.typedShards++
 				if e.typ != FrameWritable {
-					nonWritable = true
+					cell.nonWritable = true
 				}
 			}
+			cell.typeAdd += e.typeAdd
+			cell.refAdd += e.refAdd
+			if e.pinned {
+				cell.pinned = true
+			}
 		}
-		if typed >= 2 && nonWritable {
+	}
+	for _, pfn := range v.mergeOrder {
+		cell := &v.mergeCells[pfn]
+		if cell.typedShards >= 2 && cell.nonWritable {
 			v.Stats.RecomputeFallbacks.Add(1)
 			return v.recomputeLocked(c, d, roots)
 		}
@@ -279,26 +302,25 @@ func (v *VMM) RecomputeFrameInfoParallel(c *hw.CPU, d *Domain, roots []hw.PFN, w
 
 	// Apply the merged deltas in frame order, then publish pins in
 	// caller order, exactly as the serial loop would have.
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	sortPFNs(v.mergeOrder)
 	mergeStart := c.Now()
-	for _, pfn := range order {
+	for _, pfn := range v.mergeOrder {
+		cell := &v.mergeCells[pfn]
 		fi := v.FT.Get(pfn)
-		for _, e := range merged[pfn] {
-			if e.typeAdd > 0 {
-				fi.Type = e.typ
-				fi.TypeCount += e.typeAdd
-			}
-			fi.TotalRefs += e.refAdd
-			if e.pinned {
-				fi.Pinned = true
-			}
+		if cell.typeAdd > 0 {
+			fi.Type = cell.typ
+			fi.TypeCount += cell.typeAdd
+		}
+		fi.TotalRefs += cell.refAdd
+		if cell.pinned {
+			fi.Pinned = true
 		}
 		v.FT.Set(pfn, fi)
 	}
-	c.Charge(v.M.Costs.FrameMerge * hw.Cycles(len(order)))
+	c.Charge(v.M.Costs.FrameMerge * hw.Cycles(len(v.mergeOrder)))
 	if h := v.tel(); h != nil {
 		h.col.Tracer.Complete(c.ID, mergeStart, c.Now(),
-			"switch/recompute-merge", uint64(len(order)))
+			"switch/recompute-merge", uint64(len(v.mergeOrder)))
 	}
 	for _, r := range roots {
 		d.pinnedRoots[r] = true

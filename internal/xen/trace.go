@@ -28,6 +28,7 @@ const (
 	TrcDetach
 	TrcPin
 	TrcUnpin
+	TrcMulticall
 )
 
 func (k TraceKind) String() string {
@@ -48,6 +49,8 @@ func (k TraceKind) String() string {
 		return "pin"
 	case TrcUnpin:
 		return "unpin"
+	case TrcMulticall:
+		return "multicall"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }

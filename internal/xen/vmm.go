@@ -76,6 +76,14 @@ type VMM struct {
 	// journal tracking policy; see journal.go).
 	journal *DirtyJournal
 
+	// mergeCells/mergeOrder/mergeEpoch are the parallel recompute's
+	// reusable merge scratch (guarded by mmuMu; see
+	// recompute_parallel.go). Epoch-stamped per-frame cells replace the
+	// per-call maps so the merge allocates nothing after warm-up.
+	mergeCells []mergeCell
+	mergeOrder []hw.PFN
+	mergeEpoch uint64
+
 	nextDomID  DomID
 	consoleLog []string
 
@@ -91,6 +99,8 @@ type vmmObs struct {
 	col            *obs.Collector
 	hypercalls     *obs.Counter
 	hypercallCyc   *obs.Histogram
+	multicalls     *obs.Counter
+	multicallOps   *obs.Counter
 	domSwitches    *obs.Counter
 	faultBounces   *obs.Counter
 	faultBounceCyc *obs.Histogram
@@ -117,6 +127,8 @@ func (v *VMM) tel() *vmmObs {
 			col:            col,
 			hypercalls:     r.Counter("xen", "hypercalls_total"),
 			hypercallCyc:   r.Histogram("xen", "hypercall_cycles"),
+			multicalls:     r.Counter("xen", "multicalls_total"),
+			multicallOps:   r.Counter("xen", "multicall_ops_total"),
 			domSwitches:    r.Counter("xen", "dom_switches_total"),
 			faultBounces:   r.Counter("xen", "fault_bounces_total"),
 			faultBounceCyc: r.Histogram("xen", "fault_bounce_cycles"),
@@ -142,6 +154,8 @@ func (v *VMM) tel() *vmmObs {
 // concurrently from every CPU.
 type VMMStats struct {
 	Hypercalls    atomic.Uint64
+	Multicalls    atomic.Uint64 // multicall batches (each also counts as one hypercall)
+	MulticallOps  atomic.Uint64 // ops carried inside multicall batches
 	DomSwitches   atomic.Uint64
 	FaultsHandled atomic.Uint64
 	Activations   atomic.Uint64
@@ -487,4 +501,53 @@ func (v *VMM) enter(c *hw.CPU, d *Domain) func() {
 		h.hypercallCyc.Observe(end - start)
 		h.col.Tracer.Complete(c.ID, start, end, "xen/hypercall", id)
 	}
+}
+
+// hcFrame is the state enterFast hands to exitFast. It lives on the
+// caller's stack: unlike enter's closure, the fast prologue/epilogue
+// pair performs no heap allocation, which is what lets the PTE-write
+// and multicall hot paths pass their AllocsPerRun gates.
+type hcFrame struct {
+	prev  uint8
+	start hw.Cycles
+	h     *vmmObs
+}
+
+// enterFast is the allocation-free hypercall prologue. Usage:
+//
+//	fr := v.enterFast(c, d)
+//	defer v.exitFast(c, d, fr)
+//
+// The plain defer (no closure capture beyond the arguments) is
+// open-coded by the compiler, so the pair charges and records exactly
+// what enter does without touching the heap.
+func (v *VMM) enterFast(c *hw.CPU, d *Domain) hcFrame {
+	fr := hcFrame{h: v.tel()}
+	if fr.h != nil {
+		fr.start = c.Now()
+	}
+	c.Charge(v.M.Costs.WorldSwitch + v.M.Costs.HypercallBase)
+	v.Stats.Hypercalls.Add(1)
+	v.traceEmit(c, TrcHypercall, d, 0)
+	if d != nil {
+		d.Stats.Hypercalls.Add(1)
+	}
+	fr.prev = c.SetMode(hw.PL0)
+	return fr
+}
+
+// exitFast is the epilogue matching enterFast.
+func (v *VMM) exitFast(c *hw.CPU, d *Domain, fr hcFrame) {
+	c.SetMode(fr.prev)
+	if fr.h == nil {
+		return
+	}
+	end := c.Now()
+	fr.h.hypercalls.Inc()
+	fr.h.hypercallCyc.Observe(end - fr.start)
+	id := uint64(0xFFFE)
+	if d != nil {
+		id = uint64(d.ID)
+	}
+	fr.h.col.Tracer.Complete(c.ID, fr.start, end, "xen/hypercall", id)
 }
