@@ -18,6 +18,8 @@
 //	mercuryctl events -kind admission-grant
 //	                             # flight-recorder dump, filterable by
 //	                             # kind/node, text or -json
+//	mercuryctl fork -clones 1000 # fork a fleet of CoW clones from one
+//	                             # snapshot, report cache dedup + cost
 //	mercuryctl mc                # model-check the mode-switch protocol:
 //	                             # exhaustive interleaving exploration
 //	mercuryctl mc -seed-bug toctou -expect commit-with-refcount-held -trace
@@ -89,6 +91,9 @@ func main() {
 		"mc: replay the counterexample through the flight recorder, step by step")
 	mcExpect := subFlags.String("expect", "none",
 		"mc: expected verdict for the exit status (none or a violation name)")
+	forkClones := subFlags.Int("clones", 64, "fork: domains to fork from one image")
+	forkPages := subFlags.Int("pages", 128, "fork: live data pages in the template")
+	forkDirty := subFlags.Int("dirty", 4, "fork: frames each clone dirties")
 	if sub != "" {
 		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
@@ -118,6 +123,14 @@ func main() {
 			policy:     pol,
 			interval:   *fleetInterval,
 			jsonOut:    *jsonOut,
+		})
+		return
+	}
+	if sub == "fork" {
+		forkCmd(forkOpts{
+			clones: *forkClones,
+			pages:  *forkPages,
+			dirty:  *forkDirty,
 		})
 		return
 	}

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fork"
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/xen"
+)
+
+// ForkPoint is one cell of the snapshot-cache fork sweep: Clones
+// domains forked from one warmed base image of Pages live pages, each
+// clone dirtying DirtyPages frames before a delta checkpoint. The
+// sharing counts are exact algorithmic outcomes (the simulation is
+// deterministic); only the cycle means ride a tolerance band.
+type ForkPoint struct {
+	Pages      int `json:"pages"`
+	Clones     int `json:"clones"`
+	DirtyPages int `json:"dirty_pages"`
+
+	BaseFrames    int     `json:"base_frames"`        // unique frames in the base image
+	StoreFrames   int     `json:"store_frames"`       // unique frames in the store at steady state
+	StoreBytes    int     `json:"store_bytes"`        // deduplicated storage footprint
+	SharedTotal   int     `json:"shared_total"`       // CoW mappings still live across all clones
+	PromotedTotal int     `json:"promoted_total"`     // frames privatized by writes/relocation
+	DeltaTotal    int     `json:"delta_frames_total"` // frames stored across all delta checkpoints
+	DedupRatio    float64 `json:"dedup_ratio"`        // logical puts per unique stored frame
+	RefLeaks      int     `json:"ref_leaks"`          // audit violations (must be 0)
+
+	CloneCycMean uint64  `json:"clone_cyc_mean"`
+	DeltaCycMean uint64  `json:"delta_cyc_mean"`
+	CloneUSMean  float64 `json:"clone_us_mean"`
+}
+
+// The swept grid: clone-fleet sizes x per-clone dirty rates. The
+// 1,000-clone column is the headline: a thousand domains from one
+// image, each at roughly journal re-attach cost.
+var (
+	ForkPages  = []int{256}
+	ForkClones = []int{16, 128, 1000}
+	ForkDirty  = []int{0, 8, 32}
+)
+
+// ForkSweep runs the fork grid. Every point audits the store's
+// refcounts against the live owners, so the sweep doubles as a leak
+// check at scale.
+func ForkSweep(opt Options) ([]ForkPoint, error) {
+	opt.fill()
+	var pts []ForkPoint
+	for _, pages := range ForkPages {
+		for _, clones := range ForkClones {
+			for _, dirty := range ForkDirty {
+				pt, err := forkPoint(pages, clones, dirty)
+				if err != nil {
+					return nil, fmt.Errorf("bench: fork %dpg/%dclones/%ddirty: %w",
+						pages, clones, dirty, err)
+				}
+				pts = append(pts, pt)
+			}
+		}
+	}
+	return pts, nil
+}
+
+// forkPoint warms one base image and forks a fleet from it on a single
+// machine, delta-checkpointing every clone.
+func forkPoint(pages, clones, dirty int) (ForkPoint, error) {
+	pt := ForkPoint{Pages: pages, Clones: clones, DirtyPages: dirty}
+
+	span := hw.PFN(pages) + 16 // data pages plus table/slack frames
+	// VMM reservation (4096) + dom0 (1024) + template and every clone.
+	frames := uint64(4096) + uint64(1024) + uint64(span)*uint64(clones+1) + 512
+	m := hw.NewMachine(hw.Config{Name: "fork-bench", MemBytes: frames * hw.PageSize, NumCPUs: 1})
+	v, err := xen.Boot(m)
+	if err != nil {
+		return pt, err
+	}
+	c := m.BootCPU()
+	v.Activate(c)
+	dom0, err := v.CreateDomain("dom0", 1024, true)
+	if err != nil {
+		return pt, err
+	}
+	v.SetCurrent(c, dom0)
+	origin, err := v.CreateDomain("template", span, false)
+	if err != nil {
+		return pt, err
+	}
+	lo, _ := origin.Frames.Range()
+	for i := 0; i < pages; i++ {
+		m.Mem.WriteWord((lo + hw.PFN(i)).Addr(), uint32(0xBE000000)|uint32(i))
+	}
+	// A small pinned page-table tree: clones pay its relocation, the
+	// realistic floor for a fork's private frames.
+	root, ptf := lo+hw.PFN(pages), lo+hw.PFN(pages)+1
+	hw.WritePTE(m.Mem, root, 3, hw.MakePTE(ptf, hw.PTEPresent|hw.PTEWrite))
+	hw.WritePTE(m.Mem, ptf, 7, hw.MakePTE(lo, hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+	origin.VCPU0().SetCR3(root)
+
+	img, err := migrate.Checkpoint(c, v, dom0, origin)
+	if err != nil {
+		return pt, err
+	}
+	img.PinnedRoots = []hw.PFN{root}
+	store := fork.NewStore()
+	base, err := fork.NewBase(store, img)
+	if err != nil {
+		return pt, err
+	}
+	cb := &fork.CloneBase{Store: store, Img: base}
+	pt.BaseFrames = store.Frames()
+
+	var cloneCyc, deltaCyc hw.Cycles
+	css := make([]*fork.CloneState, 0, clones)
+	overlays := make([]*fork.Overlay, 0, clones)
+	for i := 0; i < clones; i++ {
+		t0 := c.Now()
+		cs, err := fork.Clone(c, v, dom0, cb, "clone")
+		if err != nil {
+			return pt, err
+		}
+		cloneCyc += c.Now() - t0
+		css = append(css, cs)
+		// Identical dirt across clones — a forked fleet running the same
+		// workload writes the same pages the same way, and the cache
+		// dedups it: only the first clone's dirt costs storage.
+		for j := 0; j < dirty; j++ {
+			m.Mem.WriteWord((cs.Lo + hw.PFN(j)).Addr(), uint32(0xD0000000)|uint32(j))
+		}
+		t0 = c.Now()
+		o, err := fork.CheckpointDelta(c, v, dom0, cs)
+		if err != nil {
+			return pt, err
+		}
+		deltaCyc += c.Now() - t0
+		overlays = append(overlays, o)
+	}
+
+	for _, cs := range css {
+		pt.SharedTotal += cs.SharedCount()
+		pt.PromotedTotal += cs.PromotedCount()
+	}
+	for _, o := range overlays {
+		pt.DeltaTotal += o.DeltaFrames()
+	}
+	pt.StoreFrames = store.Frames()
+	pt.StoreBytes = store.BytesStored()
+	pt.DedupRatio = store.DedupRatio()
+	holders := make([]fork.RefHolder, 0, 1+2*clones)
+	holders = append(holders, base)
+	for _, cs := range css {
+		holders = append(holders, cs)
+	}
+	for _, o := range overlays {
+		holders = append(holders, o)
+	}
+	if err := fork.AuditRefs(store, holders...); err != nil {
+		pt.RefLeaks = 1
+	}
+	pt.CloneCycMean = uint64(cloneCyc) / uint64(clones)
+	pt.DeltaCycMean = uint64(deltaCyc) / uint64(clones)
+	pt.CloneUSMean = float64(pt.CloneCycMean) / float64(m.Hz) * 1e6
+	return pt, nil
+}
+
+// WriteForkSweep renders the sweep as a table.
+func WriteForkSweep(w io.Writer, pts []ForkPoint) {
+	fmt.Fprintf(w, "CoW fork from a shared snapshot cache (stored bytes ~ dirtied frames)\n")
+	fmt.Fprintf(w, "%6s %7s %6s %7s %8s %10s %7s %7s %7s %6s %11s %11s\n",
+		"pages", "clones", "dirty", "base", "stored", "bytes", "shared", "promo", "delta", "dedup", "clone(cyc)", "delta(cyc)")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%6d %7d %6d %7d %8d %10d %7d %7d %7d %6.1f %11d %11d\n",
+			pt.Pages, pt.Clones, pt.DirtyPages, pt.BaseFrames, pt.StoreFrames,
+			pt.StoreBytes, pt.SharedTotal, pt.PromotedTotal, pt.DeltaTotal,
+			pt.DedupRatio, pt.CloneCycMean, pt.DeltaCycMean)
+	}
+}
+
+// ForkBaselineSchema versions the committed fork baseline.
+const ForkBaselineSchema = "mercury-bench/fork/v1"
+
+// ForkBaseline is the serialized sweep: committed at the repo root as
+// BENCH_fork.json and diffed in CI like the other baselines.
+type ForkBaseline struct {
+	Schema string      `json:"schema"`
+	Sweep  []ForkPoint `json:"sweep"`
+}
+
+// WriteForkBaseline writes the sweep to path as indented JSON.
+func WriteForkBaseline(path string, pts []ForkPoint) error {
+	b := ForkBaseline{Schema: ForkBaselineSchema, Sweep: pts}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding fork baseline: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing fork baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadForkBaseline reads a committed fork baseline.
+func LoadForkBaseline(path string) (*ForkBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading fork baseline: %w", err)
+	}
+	var b ForkBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: decoding fork baseline %s: %w", path, err)
+	}
+	if b.Schema != ForkBaselineSchema {
+		return nil, fmt.Errorf("bench: fork baseline %s has schema %q, want %q",
+			path, b.Schema, ForkBaselineSchema)
+	}
+	return &b, nil
+}
+
+// CompareForkBaseline diffs a fresh sweep against the committed
+// baseline. Points match by (pages, clones, dirty_pages); the sharing
+// counts, dedup ratio, and leak count must match exactly (they are
+// algorithmic outcomes of a deterministic simulation), while the cycle
+// means may drift by tolerancePct.
+func CompareForkBaseline(base *ForkBaseline, fresh []ForkPoint, tolerancePct float64) []string {
+	type key struct {
+		pages  int
+		clones int
+		dirty  int
+	}
+	idx := make(map[key]ForkPoint, len(base.Sweep))
+	for _, pt := range base.Sweep {
+		idx[key{pt.Pages, pt.Clones, pt.DirtyPages}] = pt
+	}
+
+	var violations []string
+	name := func(k key) string {
+		return fmt.Sprintf("%dpg/%dclones/%ddirty", k.pages, k.clones, k.dirty)
+	}
+	cycles := func(k key, field string, want, got uint64) {
+		if want == 0 {
+			if got != 0 {
+				violations = append(violations,
+					fmt.Sprintf("%s %s: baseline 0, measured %d", name(k), field, got))
+			}
+			return
+		}
+		dev := (float64(got) - float64(want)) / float64(want) * 100
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > tolerancePct {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: baseline %d, measured %d (%.1f%% > %.1f%% tolerance)",
+					name(k), field, want, got, dev, tolerancePct))
+		}
+	}
+	exact := func(k key, field string, want, got any) {
+		if want != got {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: baseline %v, measured %v", name(k), field, want, got))
+		}
+	}
+	seen := make(map[key]bool, len(fresh))
+	for _, pt := range fresh {
+		k := key{pt.Pages, pt.Clones, pt.DirtyPages}
+		seen[k] = true
+		want, ok := idx[k]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: not in baseline", name(k)))
+			continue
+		}
+		exact(k, "base_frames", want.BaseFrames, pt.BaseFrames)
+		exact(k, "store_frames", want.StoreFrames, pt.StoreFrames)
+		exact(k, "store_bytes", want.StoreBytes, pt.StoreBytes)
+		exact(k, "shared_total", want.SharedTotal, pt.SharedTotal)
+		exact(k, "promoted_total", want.PromotedTotal, pt.PromotedTotal)
+		exact(k, "delta_frames_total", want.DeltaTotal, pt.DeltaTotal)
+		exact(k, "dedup_ratio", want.DedupRatio, pt.DedupRatio)
+		exact(k, "ref_leaks", want.RefLeaks, pt.RefLeaks)
+		cycles(k, "clone_cyc_mean", want.CloneCycMean, pt.CloneCycMean)
+		cycles(k, "delta_cyc_mean", want.DeltaCycMean, pt.DeltaCycMean)
+	}
+	for k := range idx {
+		if !seen[k] {
+			violations = append(violations,
+				fmt.Sprintf("%s: in baseline but not measured", name(k)))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestForkPointSharingCounts(t *testing.T) {
+	const pages, clones, dirty = 64, 8, 4
+	pt, err := forkPoint(pages, clones, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base: 64 unique data frames plus 2 table frames.
+	if pt.BaseFrames != pages+2 {
+		t.Fatalf("base frames = %d, want %d", pt.BaseFrames, pages+2)
+	}
+	// Each clone adds exactly its dirt plus the 2 relocated table
+	// frames — stored bytes proportional to dirtied frames, not fleet
+	// size times image size.
+	wantDelta := clones * (dirty + 2)
+	if pt.DeltaTotal != wantDelta {
+		t.Fatalf("delta total = %d, want %d", pt.DeltaTotal, wantDelta)
+	}
+	// Identical dirt dedups to one stored copy; the 2 relocated table
+	// frames per clone are clone-specific and cannot.
+	if want := pt.BaseFrames + dirty + 2*clones; pt.StoreFrames != want {
+		t.Fatalf("store frames = %d, want %d", pt.StoreFrames, want)
+	}
+	if pt.PromotedTotal != clones*(dirty+2) {
+		t.Fatalf("promoted = %d, want %d", pt.PromotedTotal, clones*(dirty+2))
+	}
+	if pt.SharedTotal != clones*(pages+2-dirty-2) {
+		t.Fatalf("shared = %d, want %d", pt.SharedTotal, clones*(pages-dirty))
+	}
+	if pt.RefLeaks != 0 {
+		t.Fatalf("%d ref leaks", pt.RefLeaks)
+	}
+	if pt.DedupRatio <= 1 {
+		t.Fatalf("dedup ratio = %v, want > 1", pt.DedupRatio)
+	}
+	// A fork must be far cheaper than copying the image: under half a
+	// PageCopy per frame.
+	if pt.CloneCycMean > uint64(pages)*900/2 {
+		t.Fatalf("clone mean %d cycles — copy-dominated", pt.CloneCycMean)
+	}
+}
+
+func TestForkBaselineRoundTripAndCompare(t *testing.T) {
+	pts := []ForkPoint{{
+		Pages: 64, Clones: 8, DirtyPages: 4,
+		BaseFrames: 66, StoreFrames: 114, StoreBytes: 114 * 4096,
+		SharedTotal: 480, PromotedTotal: 48, DeltaTotal: 48,
+		DedupRatio: 1.5, CloneCycMean: 4000, DeltaCycMean: 9000,
+	}}
+	path := filepath.Join(t.TempDir(), "BENCH_fork.json")
+	if err := WriteForkBaseline(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadForkBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CompareForkBaseline(base, pts, 25); len(v) != 0 {
+		t.Fatalf("self-compare violated: %v", v)
+	}
+	// Cycle drift inside the band passes; outside fails.
+	drift := pts
+	drift[0].CloneCycMean = 4900
+	if v := CompareForkBaseline(base, drift, 25); len(v) != 0 {
+		t.Fatalf("in-band drift flagged: %v", v)
+	}
+	drift[0].CloneCycMean = 6000
+	if v := CompareForkBaseline(base, drift, 25); len(v) != 1 {
+		t.Fatalf("out-of-band drift not flagged: %v", v)
+	}
+	// Sharing counts are exact: any change is a violation.
+	drift[0].CloneCycMean = 4000
+	drift[0].StoreFrames++
+	v := CompareForkBaseline(base, drift, 25)
+	if len(v) != 1 || !strings.Contains(v[0], "store_frames") {
+		t.Fatalf("store_frames drift not flagged exactly: %v", v)
+	}
+}

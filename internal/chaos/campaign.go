@@ -35,6 +35,9 @@ type Config struct {
 	Faults []*Fault
 	// Standby, when set, routes failed repairs into evacuation.
 	Standby *Standby
+	// Fork, when set, adds the snapshot-cache faults (ForkFaults) and
+	// gives DetectStore episodes their probe target.
+	Fork *ForkEnv
 }
 
 // DefaultConfig returns a fully interleaved campaign for the seed.
@@ -147,6 +150,11 @@ func Run(mc *core.Mercury, cfg Config) (*Report, error) {
 			// attacks the §6.3 maintenance pipeline.
 			faults = append(faults, MigrationFaults()...)
 		}
+		if cfg.Fork != nil {
+			// With a snapshot-cache node available the campaign also
+			// attacks the fork store's refcount and content integrity.
+			faults = append(faults, ForkFaults()...)
+		}
 	}
 	rep := &Report{Seed: cfg.Seed}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -159,7 +167,7 @@ func Run(mc *core.Mercury, cfg Config) (*Report, error) {
 		// Populate some page tables so guest-layer faults have victims.
 		base := p.Mmap(8, guest.ProtRead|guest.ProtWrite, true)
 		p.Touch(base, 8, true)
-		ctx := &Ctx{MC: mc, P: p, Rand: rng, Migrate: &migrate.FaultInjection{}}
+		ctx := &Ctx{MC: mc, P: p, Rand: rng, Migrate: &migrate.FaultInjection{}, Fork: cfg.Fork}
 		for i := 0; i < cfg.Episodes; i++ {
 			ep, err := runEpisode(ctx, cfg, faults, rep, tel, i)
 			rep.Episodes = append(rep.Episodes, ep)
@@ -247,6 +255,8 @@ func runEpisode(ctx *Ctx, cfg Config, faults []*Fault, rep *Report, tel *chaosOb
 		derr = detectSwitch(ctx, &ep, act)
 	case DetectTxn:
 		derr = detectTxn(ctx, cfg, &ep, act)
+	case DetectStore:
+		derr = detectStore(ctx, cfg, &ep, act)
 	default:
 		derr = fmt.Errorf("unknown detector %q", f.Detector)
 	}

@@ -33,6 +33,10 @@ const (
 	// the live migration aborts, every journaled side effect rolls
 	// back, and a retry commits once the fault is removed.
 	DetectTxn Detector = "txn-rollback"
+	// DetectStore: the snapshot cache's own defenses catch the fault —
+	// content verification, the refcount audit, or the fork
+	// transaction's rollback (internal/fork).
+	DetectStore Detector = "store-audit"
 )
 
 // Ctx is the environment an injector runs in: the system under test,
@@ -45,6 +49,9 @@ type Ctx struct {
 	C       *hw.CPU
 	Rand    *rand.Rand
 	Migrate *migrate.FaultInjection
+	// Fork is the snapshot-cache node store faults attack (nil unless
+	// the campaign configured one).
+	Fork *ForkEnv
 }
 
 // Active is one injected fault: how to remove it, and — for sensor-

@@ -1,0 +1,250 @@
+package fork
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/migrate"
+	"repro/internal/xen"
+)
+
+// CloneState tracks one forked domain: which of its frames are still
+// copy-on-write mapped onto the snapshot cache (the clone owns one
+// store reference per live mapping) and how many have been promoted to
+// private copies by writes.
+type CloneState struct {
+	Base *CloneBase
+	V    *xen.VMM
+	D    *xen.Domain
+
+	// Lo is the clone's partition base; Delta its displacement from the
+	// base image's partition.
+	Lo    hw.PFN
+	Delta int64
+
+	mu        sync.Mutex
+	shared    map[hw.PFN]Hash // CoW-mapped frames → content hash
+	promoted  int
+	destroyed bool
+}
+
+// CloneBase pairs the template image with the store it lives in — what
+// Clone needs to spawn domains from it.
+type CloneBase struct {
+	Store *Store
+	Img   *BaseImage
+}
+
+// SharedCount returns the number of frames still CoW-mapped.
+func (cs *CloneState) SharedCount() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.shared)
+}
+
+// PromotedCount returns the number of frames privatized by writes.
+func (cs *CloneState) PromotedCount() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.promoted
+}
+
+// LiveRefs reports the store references the clone currently owns (one
+// per live CoW mapping).
+func (cs *CloneState) LiveRefs() int { return cs.SharedCount() }
+
+// onPromote is the hw promotion hook: the frame went private, so the
+// clone's reference on the shared content is dropped.
+func (cs *CloneState) onPromote(pfn hw.PFN) {
+	cs.mu.Lock()
+	h, ok := cs.shared[pfn]
+	if ok {
+		delete(cs.shared, pfn)
+		cs.promoted++
+	}
+	cs.mu.Unlock()
+	if ok {
+		// A release here cannot fail: the mapping held the reference.
+		_ = cs.Base.Store.Release(h)
+	}
+}
+
+// abort releases everything the clone holds: live CoW mappings (and
+// their store references) and the domain itself. Idempotent.
+func (cs *CloneState) abort() error {
+	cs.mu.Lock()
+	if cs.destroyed {
+		cs.mu.Unlock()
+		return nil
+	}
+	cs.destroyed = true
+	shared := cs.shared
+	cs.shared = nil
+	cs.mu.Unlock()
+	var firstErr error
+	for pfn, h := range shared {
+		cs.V.M.Mem.UnmapShared(pfn)
+		if err := cs.Base.Store.Release(h); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := cs.V.DestroyDomain(cs.D.ID); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Clone spawns a new domain from a warmed base image at the cost of the
+// dirtied frames, not the image size: every non-zero frame is mapped
+// copy-on-write onto the shared snapshot cache (one CoWMapPerFrame
+// charge each — no page copies), the page-table tree is relocated to
+// the clone's partition (promoting exactly the table frames when the
+// displacement is non-zero), the roots are re-pinned, and the vcpu
+// state is installed. All side effects ride a migrate.Txn: on any
+// failure the pins are undone, the mappings unmapped, the store
+// references released, and the domain destroyed.
+func Clone(c *hw.CPU, v *xen.VMM, caller *xen.Domain, base *CloneBase, name string) (*CloneState, error) {
+	if !v.Active {
+		return nil, fmt.Errorf("fork: clone requires an active VMM")
+	}
+	img := base.Img
+	if img.LiveRefs() == 0 && len(img.Refs) > 0 {
+		return nil, fmt.Errorf("fork: clone from released base %q", img.Name)
+	}
+	d, err := v.CreateDomain(name, img.Span(), img.Privileged)
+	if err != nil {
+		return nil, fmt.Errorf("fork: creating clone domain: %w", err)
+	}
+	lo, _ := d.Frames.Range()
+	cs := &CloneState{
+		Base: base, V: v, D: d,
+		Lo: lo, Delta: int64(lo) - int64(img.Lo),
+		shared: make(map[hw.PFN]Hash, len(img.Refs)),
+	}
+	txn := migrate.BeginTxn("fork " + name)
+	txn.Journal("clone-teardown", cs.abort)
+	fail := func(err error) (*CloneState, error) {
+		if rerr := txn.Rollback(); rerr != nil {
+			err = fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		return nil, err
+	}
+	if err := v.HypDomctlPause(c, caller, d.ID); err != nil {
+		return fail(fmt.Errorf("fork: pausing fresh clone: %w", err))
+	}
+	// Map every base frame copy-on-write: the clone reads the shared
+	// cache page until its first write promotes the frame.
+	mem := v.M.Mem
+	for _, r := range img.Refs {
+		data, err := base.Store.Get(r.H)
+		if err != nil {
+			return fail(fmt.Errorf("fork: base frame missing from store: %w", err))
+		}
+		if err := base.Store.Retain(r.H); err != nil {
+			return fail(err)
+		}
+		tgt := lo + hw.PFN(r.Off)
+		cs.mu.Lock()
+		cs.shared[tgt] = r.H
+		cs.mu.Unlock()
+		if err := mem.MapShared(tgt, data, cs.onPromote); err != nil {
+			return fail(fmt.Errorf("fork: mapping frame %d: %w", tgt, err))
+		}
+		c.Charge(v.M.Costs.CoWMapPerFrame)
+	}
+	// Relocate the page-table tree to the clone's partition. The PTE
+	// writes promote exactly the table frames — the only copies a fork
+	// pays for when nothing else is dirtied.
+	if cs.Delta != 0 {
+		migrate.RelocateTables(c, mem, img.PinnedRoots, cs.Delta)
+	}
+	if err := migrate.RepinRoots(c, txn, v, d, img.PinnedRoots, cs.Delta); err != nil {
+		return fail(fmt.Errorf("fork: clone aborted: %w", err))
+	}
+	d.VCPU0().SetCR3(hw.PFN(int64(img.CR3) + cs.Delta))
+	d.VCPU0().SetVIF(img.VIF)
+	if err := v.HypDomctlUnpause(c, caller, d.ID); err != nil {
+		return fail(fmt.Errorf("fork: resuming clone: %w", err))
+	}
+	txn.Commit()
+	return cs, nil
+}
+
+// CheckpointDelta pauses a forked domain and captures only its
+// divergence from the base: frames still CoW-mapped are skipped
+// outright (they cannot have changed), promoted frames are hashed and
+// stored only if their content differs from the base's frame at the
+// same offset (a frame rewritten back to base content, or still zero,
+// costs nothing). The result is an Overlay owning one store reference
+// per diverged frame.
+func CheckpointDelta(c *hw.CPU, v *xen.VMM, caller *xen.Domain, cs *CloneState) (*Overlay, error) {
+	if cs.destroyed {
+		return nil, fmt.Errorf("fork: checkpoint of destroyed clone")
+	}
+	if err := v.HypDomctlPause(c, caller, cs.D.ID); err != nil {
+		return nil, err
+	}
+	img := cs.Base.Img
+	o := &Overlay{
+		store: cs.Base.Store,
+		Base:  img,
+		Name:  cs.D.Name,
+		Lo:    cs.Lo, Hi: cs.Lo + img.Span(),
+		CR3: cs.D.VCPU0().CR3(), VIF: cs.D.VCPU0().VIF(),
+		PinnedRoots: cs.D.PinnedRoots(),
+	}
+	mem := v.M.Mem
+	hashCost := v.M.Costs.PageCopy / 4
+	for pfn := o.Lo; pfn < o.Hi; pfn++ {
+		if mem.SharedAt(pfn) {
+			continue // still backed by the cache: unchanged by construction
+		}
+		data := mem.FrameBytesRO(pfn)
+		c.Charge(hashCost)
+		h := HashFrame(data)
+		off := uint32(pfn - o.Lo)
+		if baseH, ok := img.HashAt(off); ok {
+			if h == baseH {
+				continue // promoted, then written back to base content
+			}
+		} else if h == zeroHash {
+			continue // never materialized, or scrubbed back to zero
+		}
+		sh, err := cs.Base.Store.Put(data)
+		if err != nil {
+			_ = o.Release()
+			_ = v.HypDomctlUnpause(c, caller, cs.D.ID)
+			return nil, err
+		}
+		c.Charge(v.M.Costs.PageCopy)
+		o.Dirty = append(o.Dirty, FrameRef{Off: off, H: sh})
+	}
+	if err := v.HypDomctlUnpause(c, caller, cs.D.ID); err != nil {
+		// Mirror Checkpoint: the delta is complete and consistent —
+		// return it alongside the resume failure.
+		return o, fmt.Errorf("fork: delta checkpoint complete but resume failed: %w", err)
+	}
+	return o, nil
+}
+
+// DestroyClone unpins the clone's roots, tears the domain down, and
+// releases every store reference the clone still holds.
+func DestroyClone(c *hw.CPU, v *xen.VMM, caller *xen.Domain, cs *CloneState) error {
+	if cs.destroyed {
+		return fmt.Errorf("fork: double destroy of clone dom%d", cs.D.ID)
+	}
+	var firstErr error
+	for _, root := range cs.Base.Img.PinnedRoots {
+		nr := hw.PFN(int64(root) + cs.Delta)
+		if cs.D.HasPinned(nr) {
+			if err := v.HypUnpinTable(c, cs.D, nr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := cs.abort(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

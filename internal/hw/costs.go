@@ -93,6 +93,9 @@ type CostModel struct {
 	// journal on the native PTE-write path
 	JournalReplayEntry Cycles // verifying and replaying one condensed
 	// journal slot at re-attach time
+	CoWMapPerFrame Cycles // mapping one shared snapshot-cache frame
+	// read-only into a forked domain (accounting update + read-only
+	// PTE install; a promotion later pays PageCopy)
 	SelectorFixup Cycles // patching cached segment selectors on one
 	// interrupted thread stack
 	StateReload Cycles // reloading CR3/IDT/GDT and patching the return
@@ -188,6 +191,7 @@ func DefaultCosts() *CostModel {
 		FrameMerge:         6,
 		JournalAppend:      9,
 		JournalReplayEntry: 48,
+		CoWMapPerFrame:     46,
 		SelectorFixup:      160,
 		StateReload:        2600,
 

@@ -1,0 +1,185 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+)
+
+func cowPage(b byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestMapSharedReadsWithoutCopy(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	shared := cowPage(0x5A)
+	if err := m.MapShared(3, shared, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedFrames() != 1 || !m.SharedAt(3) {
+		t.Fatal("mapping not registered")
+	}
+	if got := m.Load8(PFN(3).Addr() + 7); got != 0x5A {
+		t.Fatalf("read through mapping = %#x", got)
+	}
+	// Reads must alias the shared page, not copy it.
+	if &m.FrameBytesRO(3)[0] != &shared[0] {
+		t.Fatal("FrameBytesRO copied the shared page")
+	}
+	if m.SharedAt(3) != true || m.SharedFrames() != 1 {
+		t.Fatal("read promoted the frame")
+	}
+}
+
+func TestMapSharedPromoteOnWrite(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	shared := cowPage(0x5A)
+	var hooked []PFN
+	if err := m.MapShared(3, shared, func(pfn PFN) { hooked = append(hooked, pfn) }); err != nil {
+		t.Fatal(err)
+	}
+	m.Store8(PFN(3).Addr()+1, 0xEE)
+	if m.SharedAt(3) {
+		t.Fatal("write did not promote")
+	}
+	if len(hooked) != 1 || hooked[0] != 3 {
+		t.Fatalf("promotion hook calls = %v, want [3]", hooked)
+	}
+	// The private copy holds shared content plus the write; the shared
+	// page itself is untouched.
+	if got := m.Load8(PFN(3).Addr()); got != 0x5A {
+		t.Fatalf("promoted frame byte 0 = %#x", got)
+	}
+	if got := m.Load8(PFN(3).Addr() + 1); got != 0xEE {
+		t.Fatalf("promoted frame byte 1 = %#x", got)
+	}
+	if shared[1] != 0x5A {
+		t.Fatal("write leaked through to the shared page")
+	}
+	// A second write must not re-run the hook.
+	m.Store8(PFN(3).Addr()+2, 0x11)
+	if len(hooked) != 1 {
+		t.Fatal("hook ran twice")
+	}
+}
+
+func TestMapSharedZeroFrameDropsMapping(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	hooks := 0
+	if err := m.MapShared(4, cowPage(0x77), func(PFN) { hooks++ }); err != nil {
+		t.Fatal(err)
+	}
+	m.ZeroFrame(4)
+	if m.SharedAt(4) {
+		t.Fatal("ZeroFrame left the mapping")
+	}
+	if hooks != 1 {
+		t.Fatalf("ZeroFrame ran hook %d times, want 1", hooks)
+	}
+	if !bytes.Equal(m.FrameBytesRO(4), make([]byte, PageSize)) {
+		t.Fatal("zeroed frame not zero")
+	}
+}
+
+func TestUnmapSharedSkipsHook(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	hooks := 0
+	if err := m.MapShared(5, cowPage(0x42), func(PFN) { hooks++ }); err != nil {
+		t.Fatal(err)
+	}
+	if !m.UnmapShared(5) {
+		t.Fatal("unmap of mapped frame reported false")
+	}
+	if m.UnmapShared(5) {
+		t.Fatal("unmap of unmapped frame reported true")
+	}
+	if hooks != 0 {
+		t.Fatal("teardown unmap must not run the promotion hook")
+	}
+	if got := m.Load8(PFN(5).Addr()); got != 0 {
+		t.Fatalf("unmapped frame reads %#x, want 0", got)
+	}
+}
+
+func TestMapSharedSnapshotAndRestore(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	m.Store8(PFN(1).Addr(), 9)
+	if err := m.MapShared(2, cowPage(0x33), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap[2] == nil || snap[2][0] != 0x33 {
+		t.Fatal("snapshot missed CoW content")
+	}
+	hooks := 0
+	if err := m.MapShared(6, cowPage(0x44), func(PFN) { hooks++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedFrames() != 0 {
+		t.Fatal("Restore left CoW mappings")
+	}
+	if hooks != 0 {
+		t.Fatal("Restore must drop mappings without running hooks")
+	}
+	// Restored contents are private copies of what reads observed.
+	if got := m.Load8(PFN(2).Addr()); got != 0x33 {
+		t.Fatalf("restored frame 2 = %#x", got)
+	}
+	if got := m.Load8(PFN(1).Addr()); got != 9 {
+		t.Fatalf("restored frame 1 = %#x", got)
+	}
+}
+
+func TestMapSharedCopyFrameReadsShared(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	if err := m.MapShared(2, cowPage(0x66), nil); err != nil {
+		t.Fatal(err)
+	}
+	m.CopyFrame(8, 2)
+	if !m.SharedAt(2) {
+		t.Fatal("copying FROM a shared frame promoted it")
+	}
+	if got := m.Load8(PFN(8).Addr()); got != 0x66 {
+		t.Fatalf("copy destination = %#x", got)
+	}
+	// Copying INTO a shared frame promotes the destination.
+	if err := m.MapShared(9, cowPage(0x10), nil); err != nil {
+		t.Fatal(err)
+	}
+	m.CopyFrame(9, 8)
+	if m.SharedAt(9) {
+		t.Fatal("copy into shared frame did not promote it")
+	}
+	if got := m.Load8(PFN(9).Addr()); got != 0x66 {
+		t.Fatalf("promoted copy destination = %#x", got)
+	}
+}
+
+func TestMapSharedValidation(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	if err := m.MapShared(PFN(1<<20>>PageShift), cowPage(1), nil); err == nil {
+		t.Fatal("MapShared beyond memory must error")
+	}
+	if err := m.MapShared(1, make([]byte, 100), nil); err == nil {
+		t.Fatal("MapShared of a short page must error")
+	}
+	// Remapping replaces the previous source and keeps the count right.
+	if err := m.MapShared(1, cowPage(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapShared(1, cowPage(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedFrames() != 1 {
+		t.Fatalf("remap counted twice: %d", m.SharedFrames())
+	}
+	if got := m.Load8(PFN(1).Addr()); got != 3 {
+		t.Fatalf("remapped frame reads %#x", got)
+	}
+}

@@ -66,6 +66,22 @@ type PhysMem struct {
 	dirtyOn atomic.Bool
 	dirtyMu sync.Mutex
 	dirty   map[PFN]struct{}
+
+	// cow maps frames onto shared read-only pages (the fork snapshot
+	// cache): reads are served from the shared bytes without copying,
+	// and the first write promotes the frame to a private copy. cowCnt
+	// gates the hot path without a lock.
+	cowCnt atomic.Int64
+	cowMu  sync.Mutex
+	cow    map[PFN]*cowSource
+}
+
+// cowSource backs one copy-on-write frame: data is the shared read-only
+// page (aliased, never written through), onPromote is invoked after the
+// frame has been privatized by a first write.
+type cowSource struct {
+	data      []byte
+	onPromote func(pfn PFN)
 }
 
 // EnableDirtyLog starts recording written frames.
@@ -147,6 +163,112 @@ func (m *PhysMem) frame(pfn PFN) []byte {
 	return m.frames[pfn]
 }
 
+// MapShared maps pfn copy-on-write onto a shared read-only page: reads
+// see data without any copy, and the first write promotes the frame to
+// a private copy (after which onPromote, if set, runs once). data must
+// be exactly one page and must stay immutable while mapped — it is
+// aliased, not copied. Any private content the frame held is discarded.
+func (m *PhysMem) MapShared(pfn PFN, data []byte, onPromote func(PFN)) error {
+	if !m.Valid(pfn) {
+		return fmt.Errorf("hw: MapShared beyond memory: frame %d", pfn)
+	}
+	if len(data) != PageSize {
+		return fmt.Errorf("hw: MapShared frame %d: page is %d bytes", pfn, len(data))
+	}
+	m.mu.Lock()
+	m.frames[pfn] = nil // shared content replaces any private copy
+	m.mu.Unlock()
+	m.cowMu.Lock()
+	if m.cow == nil {
+		m.cow = make(map[PFN]*cowSource)
+	}
+	if _, dup := m.cow[pfn]; !dup {
+		m.cowCnt.Add(1)
+	}
+	m.cow[pfn] = &cowSource{data: data, onPromote: onPromote}
+	m.cowMu.Unlock()
+	return nil
+}
+
+// UnmapShared removes a copy-on-write mapping without promoting it (the
+// clone-teardown path). Reports whether pfn was mapped; the frame reads
+// as zero afterwards.
+func (m *PhysMem) UnmapShared(pfn PFN) bool {
+	m.cowMu.Lock()
+	_, ok := m.cow[pfn]
+	if ok {
+		delete(m.cow, pfn)
+		m.cowCnt.Add(-1)
+	}
+	m.cowMu.Unlock()
+	return ok
+}
+
+// SharedFrames returns the number of live copy-on-write mappings.
+func (m *PhysMem) SharedFrames() int { return int(m.cowCnt.Load()) }
+
+// SharedAt reports whether pfn is still copy-on-write mapped (not yet
+// promoted by a write).
+func (m *PhysMem) SharedAt(pfn PFN) bool {
+	if m.cowCnt.Load() == 0 {
+		return false
+	}
+	m.cowMu.Lock()
+	_, ok := m.cow[pfn]
+	m.cowMu.Unlock()
+	return ok
+}
+
+// cowLookup returns pfn's CoW source, nil if none. The fast path for
+// machines with no mappings is one atomic load.
+func (m *PhysMem) cowLookup(pfn PFN) *cowSource {
+	if m.cowCnt.Load() == 0 {
+		return nil
+	}
+	m.cowMu.Lock()
+	s := m.cow[pfn]
+	m.cowMu.Unlock()
+	return s
+}
+
+// promote materializes a private copy of a CoW frame ahead of a write,
+// removing the mapping and running the promotion hook.
+func (m *PhysMem) promote(pfn PFN) []byte {
+	m.cowMu.Lock()
+	s := m.cow[pfn]
+	if s == nil {
+		m.cowMu.Unlock()
+		return m.frame(pfn)
+	}
+	delete(m.cow, pfn)
+	m.cowCnt.Add(-1)
+	m.cowMu.Unlock()
+	f := m.frame(pfn)
+	copy(f, s.data)
+	if s.onPromote != nil {
+		s.onPromote(pfn)
+	}
+	return f
+}
+
+// frameRO returns the bytes a read of pfn observes: the shared page for
+// CoW-mapped frames, the private backing otherwise.
+func (m *PhysMem) frameRO(pfn PFN) []byte {
+	if s := m.cowLookup(pfn); s != nil {
+		return s.data
+	}
+	return m.frame(pfn)
+}
+
+// frameRW returns writable backing for pfn, promoting a CoW mapping to
+// a private copy first.
+func (m *PhysMem) frameRW(pfn PFN) []byte {
+	if m.cowCnt.Load() != 0 {
+		return m.promote(pfn)
+	}
+	return m.frame(pfn)
+}
+
 // ReadWord reads a 32-bit little-endian word at the physical address.
 func (m *PhysMem) ReadWord(a PhysAddr) uint32 {
 	pfn := PFNOf(a)
@@ -157,7 +279,7 @@ func (m *PhysMem) ReadWord(a PhysAddr) uint32 {
 	if off > PageSize-4 {
 		panic(fmt.Sprintf("hw: unaligned word read across frame: %#x", a))
 	}
-	f := m.frame(pfn)
+	f := m.frameRO(pfn)
 	return uint32(f[off]) | uint32(f[off+1])<<8 |
 		uint32(f[off+2])<<16 | uint32(f[off+3])<<24
 }
@@ -172,7 +294,7 @@ func (m *PhysMem) WriteWord(a PhysAddr, v uint32) {
 	if off > PageSize-4 {
 		panic(fmt.Sprintf("hw: unaligned word write across frame: %#x", a))
 	}
-	f := m.frame(pfn)
+	f := m.frameRW(pfn)
 	f[off] = byte(v)
 	f[off+1] = byte(v >> 8)
 	f[off+2] = byte(v >> 16)
@@ -186,7 +308,7 @@ func (m *PhysMem) Load8(a PhysAddr) byte {
 	if !m.Valid(pfn) {
 		panic(fmt.Sprintf("hw: physical read beyond memory: %#x", a))
 	}
-	return m.frame(pfn)[a&PageMask]
+	return m.frameRO(pfn)[a&PageMask]
 }
 
 // Store8 writes one byte at the physical address.
@@ -195,7 +317,7 @@ func (m *PhysMem) Store8(a PhysAddr, v byte) {
 	if !m.Valid(pfn) {
 		panic(fmt.Sprintf("hw: physical write beyond memory: %#x", a))
 	}
-	m.frame(pfn)[a&PageMask] = v
+	m.frameRW(pfn)[a&PageMask] = v
 	m.markDirty(pfn)
 }
 
@@ -204,14 +326,35 @@ func (m *PhysMem) CopyFrame(dst, src PFN) {
 	if !m.Valid(dst) || !m.Valid(src) {
 		panic("hw: CopyFrame beyond memory")
 	}
-	copy(m.frame(dst), m.frame(src))
+	copy(m.frameRW(dst), m.frameRO(src))
 	m.markDirty(dst)
 }
 
-// ZeroFrame clears the contents of a frame.
+// ZeroFrame clears the contents of a frame. Zeroing a CoW-mapped frame
+// is a write: the mapping is dropped (the promotion hook runs) and the
+// private copy is the implicit zero frame.
 func (m *PhysMem) ZeroFrame(pfn PFN) {
 	if !m.Valid(pfn) {
 		panic("hw: ZeroFrame beyond memory")
+	}
+	if m.cowCnt.Load() != 0 {
+		m.cowMu.Lock()
+		s := m.cow[pfn]
+		if s != nil {
+			delete(m.cow, pfn)
+			m.cowCnt.Add(-1)
+		}
+		m.cowMu.Unlock()
+		if s != nil {
+			m.mu.Lock()
+			m.frames[pfn] = nil
+			m.mu.Unlock()
+			if s.onPromote != nil {
+				s.onPromote(pfn)
+			}
+			m.markDirty(pfn)
+			return
+		}
 	}
 	m.mu.RLock()
 	f := m.frames[pfn]
@@ -232,23 +375,24 @@ func (m *PhysMem) FrameBytes(pfn PFN) []byte {
 		panic("hw: FrameBytes beyond memory")
 	}
 	m.markDirty(pfn) // pessimistic: the caller may write
-	return m.frame(pfn)
+	return m.frameRW(pfn)
 }
 
 // FrameBytesRO returns the backing bytes for read-only use (snapshots,
-// migration senders) without touching the dirty log.
+// migration senders) without touching the dirty log. For a CoW-mapped
+// frame this is the shared page itself — zero copies.
 func (m *PhysMem) FrameBytesRO(pfn PFN) []byte {
 	if !m.Valid(pfn) {
 		panic("hw: FrameBytesRO beyond memory")
 	}
-	return m.frame(pfn)
+	return m.frameRO(pfn)
 }
 
 // Snapshot copies the full contents of physical memory. Untouched frames
-// are recorded as nil to keep checkpoints compact.
+// are recorded as nil to keep checkpoints compact; CoW-mapped frames are
+// recorded with their shared content (what a read observes).
 func (m *PhysMem) Snapshot() [][]byte {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
 	out := make([][]byte, len(m.frames))
 	for i, f := range m.frames {
 		if f != nil {
@@ -257,11 +401,27 @@ func (m *PhysMem) Snapshot() [][]byte {
 			out[i] = cp
 		}
 	}
+	m.mu.RUnlock()
+	if m.cowCnt.Load() != 0 {
+		m.cowMu.Lock()
+		for pfn, s := range m.cow {
+			cp := make([]byte, PageSize)
+			copy(cp, s.data)
+			out[pfn] = cp
+		}
+		m.cowMu.Unlock()
+	}
 	return out
 }
 
 // Restore overwrites physical memory from a snapshot taken by Snapshot.
+// Any live CoW mappings are dropped (without running promotion hooks):
+// the snapshot's contents win.
 func (m *PhysMem) Restore(snap [][]byte) error {
+	m.cowMu.Lock()
+	m.cowCnt.Add(-int64(len(m.cow)))
+	m.cow = nil
+	m.cowMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(snap) != len(m.frames) {

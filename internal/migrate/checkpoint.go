@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"repro/internal/hw"
 	"repro/internal/xen"
@@ -23,23 +24,65 @@ type DomainImage struct {
 	Privileged  bool
 }
 
-// Bytes returns the gob encoding (what would travel to stable storage
-// or the migration socket).
+// pageRec is one frame of the wire image.
+type pageRec struct {
+	PFN  hw.PFN
+	Data []byte
+}
+
+// imageWire is the deterministic serialization of a DomainImage: pages
+// in sorted-PFN order and roots sorted ascending, instead of a raw gob
+// map whose iteration order varies run to run. Identical state must
+// encode to identical bytes — the prerequisite for content-addressed
+// snapshot identity (internal/fork).
+type imageWire struct {
+	Name        string
+	Lo, Hi      hw.PFN
+	CR3         hw.PFN
+	VIF         bool
+	PinnedRoots []hw.PFN
+	Privileged  bool
+	Pages       []pageRec
+}
+
+// Bytes returns the canonical encoding (what would travel to stable
+// storage or the migration socket). Two images of bit-identical state
+// produce bit-identical bytes.
 func (img *DomainImage) Bytes() ([]byte, error) {
+	w := imageWire{
+		Name: img.Name, Lo: img.Lo, Hi: img.Hi,
+		CR3: img.CR3, VIF: img.VIF, Privileged: img.Privileged,
+	}
+	w.PinnedRoots = append([]hw.PFN(nil), img.PinnedRoots...)
+	sort.Slice(w.PinnedRoots, func(i, j int) bool { return w.PinnedRoots[i] < w.PinnedRoots[j] })
+	w.Pages = make([]pageRec, 0, len(img.Pages))
+	for pfn, data := range img.Pages {
+		w.Pages = append(w.Pages, pageRec{PFN: pfn, Data: data})
+	}
+	sort.Slice(w.Pages, func(i, j int) bool { return w.Pages[i].PFN < w.Pages[j].PFN })
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
 		return nil, fmt.Errorf("migrate: encoding image: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeImage parses a gob-encoded image.
+// DecodeImage parses an encoded image.
 func DecodeImage(b []byte) (*DomainImage, error) {
-	var img DomainImage
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&img); err != nil {
+	var w imageWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("migrate: decoding image: %w", err)
 	}
-	return &img, nil
+	img := &DomainImage{
+		Name: w.Name, Lo: w.Lo, Hi: w.Hi,
+		CR3: w.CR3, VIF: w.VIF, Privileged: w.Privileged,
+		PinnedRoots: w.PinnedRoots,
+		Pages:       make(map[hw.PFN][]byte, len(w.Pages)),
+	}
+	for _, p := range w.Pages {
+		img.Pages[p.PFN] = p.Data
+	}
+	return img, nil
 }
 
 // MemBytes returns the snapshot payload size.
@@ -131,12 +174,12 @@ func Restore(c *hw.CPU, dst *xen.VMM, caller, into *xen.Domain, img *DomainImage
 		c.Charge(dst.M.Costs.PageCopy)
 	}
 	if delta != 0 {
-		relocateTables(c, dst.M.Mem, img, delta)
+		RelocateTables(c, dst.M.Mem, img.PinnedRoots, delta)
 	}
 	// Re-register the restored roots with the VMM: pinning validates
 	// the (relocated) trees and takes the type refs the destination
 	// needs — a restored domain must not run on unvalidated tables.
-	if err := repinRoots(c, txn, dst, into, img.PinnedRoots, delta); err != nil {
+	if err := RepinRoots(c, txn, dst, into, img.PinnedRoots, delta); err != nil {
 		if rerr := txn.Rollback(); rerr != nil {
 			err = fmt.Errorf("%w (rollback: %v)", err, rerr)
 		}
@@ -148,10 +191,11 @@ func Restore(c *hw.CPU, dst *xen.VMM, caller, into *xen.Domain, img *DomainImage
 	return dst.HypDomctlUnpause(c, caller, into.ID)
 }
 
-// relocateTables rewrites frame numbers inside every restored page-table
-// tree by delta.
-func relocateTables(c *hw.CPU, mem *hw.PhysMem, img *DomainImage, delta int64) {
-	for _, root := range img.PinnedRoots {
+// RelocateTables rewrites frame numbers inside every restored page-table
+// tree (rooted at the relocated positions of roots) by delta — the
+// canonicalization step shared by Restore, Live, and fork.Clone.
+func RelocateTables(c *hw.CPU, mem *hw.PhysMem, roots []hw.PFN, delta int64) {
+	for _, root := range roots {
 		newRoot := hw.PFN(int64(root) + delta)
 		for pdi := 0; pdi < hw.PTEntries; pdi++ {
 			pde := hw.ReadPTE(mem, newRoot, pdi)

@@ -310,13 +310,12 @@ func Live(c *hw.CPU, src *xen.VMM, caller, d *xen.Domain,
 	into.VCPU0().SetVIF(d.VCPU0().VIF())
 	roots := d.PinnedRoots()
 	if delta != 0 {
-		img := &DomainImage{Lo: lo, Hi: hi, PinnedRoots: roots}
-		relocateTables(c, dst.M.Mem, img, delta)
+		RelocateTables(c, dst.M.Mem, roots, delta)
 	}
 	// Re-pin the relocated roots under the destination VMM: this
 	// validates the trees against its frame accounting and takes the
 	// type refs the destination needs to police the new domain.
-	if err := repinRoots(c, txn, dst, into, roots, delta); err != nil {
+	if err := RepinRoots(c, txn, dst, into, roots, delta); err != nil {
 		return abort(err)
 	}
 
@@ -368,8 +367,12 @@ func bytesEqualZero(b []byte) bool {
 	return true
 }
 
+// filterRange returns the pfns inside [lo, hi) as a fresh slice. It
+// must not compact in place (pfns[:0] aliasing): callers pass slices
+// they still own — CollectDirty results are merged across rounds, and
+// rewriting the input under the caller would corrupt the dirty set.
 func filterRange(pfns []hw.PFN, lo, hi hw.PFN) []hw.PFN {
-	out := pfns[:0]
+	out := make([]hw.PFN, 0, len(pfns))
 	for _, p := range pfns {
 		if p >= lo && p < hi {
 			out = append(out, p)
@@ -378,9 +381,11 @@ func filterRange(pfns []hw.PFN, lo, hi hw.PFN) []hw.PFN {
 	return out
 }
 
+// dedup returns the unique pfns, first occurrence order, as a fresh
+// slice — same aliasing contract as filterRange.
 func dedup(pfns []hw.PFN) []hw.PFN {
 	seen := make(map[hw.PFN]bool, len(pfns))
-	out := pfns[:0]
+	out := make([]hw.PFN, 0, len(pfns))
 	for _, p := range pfns {
 		if !seen[p] {
 			seen[p] = true

@@ -1,6 +1,8 @@
 package migrate
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -284,5 +286,190 @@ func TestCheckpointRestoreIdentity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckpointBytesDeterministic is the snapshot-identity bug's
+// regression test: two checkpoints of the same paused domain must
+// serialize to byte-identical encodings. The old gob-map encoding
+// leaked map iteration order into the bytes, so identical state hashed
+// differently run to run.
+func TestCheckpointBytesDeterministic(t *testing.T) {
+	v, caller, guest, c := env(t)
+	fill(v, guest, 48)
+	lo, _ := guest.Frames.Range()
+	// Several pinned roots so root ordering is exercised too.
+	guest.VCPU0().SetCR3(lo + 40)
+
+	img1, err := Checkpoint(c, v, caller, guest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := Checkpoint(c, v, caller, guest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img1.PinnedRoots = []hw.PFN{lo + 40, lo + 12, lo + 30}
+	img2.PinnedRoots = []hw.PFN{lo + 30, lo + 40, lo + 12}
+	b1, err := img1.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := img2.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two checkpoints of identical state encode differently")
+	}
+	// Round trip preserves the payload and sorts the roots.
+	back, err := DecodeImage(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(back.PinnedRoots); i++ {
+		if back.PinnedRoots[i-1] >= back.PinnedRoots[i] {
+			t.Fatal("decoded roots not sorted ascending")
+		}
+	}
+	if len(back.Pages) != len(img1.Pages) {
+		t.Fatal("round trip lost pages")
+	}
+}
+
+// TestRestoreIntoLargerPartition covers the scrub-beyond-image path: a
+// restore into a strictly larger partition must zero the frames past
+// the image span, relocate the tables, and shift CR3 by the partition
+// delta.
+func TestRestoreIntoLargerPartition(t *testing.T) {
+	v1, caller1, guest1, c1 := env(t)
+	lo, _ := guest1.Frames.Range()
+	root, pt, data := lo+100, lo+101, lo+5
+	hw.WritePTE(v1.M.Mem, root, 3, hw.MakePTE(pt, hw.PTEPresent|hw.PTEWrite))
+	hw.WritePTE(v1.M.Mem, pt, 7, hw.MakePTE(data, hw.PTEPresent|hw.PTEWrite|hw.PTEUser))
+	v1.M.Mem.WriteWord(data.Addr(), 0xFEED)
+	guest1.VCPU0().SetCR3(root)
+
+	img, err := Checkpoint(c1, v1, caller1, guest1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.PinnedRoots = []hw.PFN{root}
+
+	m2 := hw.NewMachine(hw.Config{MemBytes: 32 << 20, NumCPUs: 1})
+	v2, err := xen.Boot(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := m2.BootCPU()
+	v2.Activate(c2)
+	caller2, _ := v2.CreateDomain("dom0", 512, true)
+	into, _ := v2.CreateDomain("incoming", 2048, false) // twice the source span
+	v2.SetCurrent(c2, caller2)
+
+	// Pre-dirty the whole target partition so the scrub has work.
+	lo2, hi2 := into.Frames.Range()
+	for pfn := lo2; pfn < hi2; pfn++ {
+		v2.M.Mem.WriteWord(pfn.Addr(), 0xBAD0_0000|uint32(pfn))
+	}
+	if err := Restore(c2, v2, caller2, into, img); err != nil {
+		t.Fatal(err)
+	}
+	delta := int64(lo2) - int64(lo)
+	if got, want := into.VCPU0().CR3(), hw.PFN(int64(root)+delta); got != want {
+		t.Fatalf("CR3 = %d, want %d", got, want)
+	}
+	w, ok := hw.Walk(v2.M.Mem, into.VCPU0().CR3(), hw.VirtAddr(3<<hw.PDShift|7<<hw.PageShift))
+	if !ok {
+		t.Fatal("relocated tree does not walk")
+	}
+	if got := v2.M.Mem.ReadWord(w.PTE.Frame().Addr()); got != 0xFEED {
+		t.Fatalf("relocated data = %#x", got)
+	}
+	// Every frame past the image span was scrubbed, not left dirty.
+	span := img.Hi - img.Lo
+	zero := make([]byte, hw.PageSize)
+	for pfn := lo2 + span; pfn < hi2; pfn++ {
+		if !bytes.Equal(v2.M.Mem.FrameBytesRO(pfn), zero) {
+			t.Fatalf("frame %d beyond image span not scrubbed", pfn)
+		}
+	}
+}
+
+// TestFilterRangeAndDedupPreserveInput is the aliasing regression test:
+// both helpers must return fresh slices. The old pfns[:0] idiom
+// clobbered the caller's backing array as it filtered, corrupting any
+// other slice sharing it (the collected dirty set is reused across
+// pre-copy rounds).
+func TestFilterRangeAndDedupPreserveInput(t *testing.T) {
+	in := []hw.PFN{9, 1, 50, 2, 9, 200, 3}
+	orig := append([]hw.PFN(nil), in...)
+
+	got := filterRange(in, 0, 100)
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatalf("filterRange mutated its input: %v", in)
+	}
+	if want := []hw.PFN{9, 1, 50, 2, 9, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("filterRange = %v, want %v", got, want)
+	}
+	if len(got) > 0 && &got[0] == &in[0] {
+		t.Fatal("filterRange aliases its input's backing array")
+	}
+
+	got = dedup(in)
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatalf("dedup mutated its input: %v", in)
+	}
+	if want := []hw.PFN{9, 1, 50, 2, 200, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("dedup = %v, want %v", got, want)
+	}
+	if &got[0] == &in[0] {
+		t.Fatal("dedup aliases its input's backing array")
+	}
+}
+
+// TestCheckpointResumeFailureReturnsUsableImage: when the snapshot is
+// complete but the resume hypercall fails, Checkpoint must hand the
+// image back alongside the error — it is exactly the state a failing
+// system needs — and that image must actually restore.
+func TestCheckpointResumeFailureReturnsUsableImage(t *testing.T) {
+	v, caller, guest, c := env(t)
+	pfns := fill(v, guest, 24)
+
+	v.InjectUnpauseFailures(1)
+	img, err := Checkpoint(c, v, caller, guest)
+	if err == nil {
+		t.Fatal("injected unpause failure did not surface")
+	}
+	if img == nil {
+		t.Fatal("resume failure discarded the completed snapshot")
+	}
+	if guest.State != xen.DomPaused {
+		t.Fatalf("guest state = %v, want paused after failed resume", guest.State)
+	}
+
+	// The image is complete: restoring it elsewhere yields the payload.
+	into, err := v.CreateDomain("recovered", img.Hi-img.Lo, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(c, v, caller, into, img); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := guest.Frames.Range()
+	lo2, _ := into.Frames.Range()
+	for i, pfn := range pfns {
+		want := v.M.Mem.ReadWord(pfn.Addr())
+		if got := v.M.Mem.ReadWord((lo2 + (pfn - lo)).Addr()); got != want {
+			t.Fatalf("restored word %d = %#x, want %#x", i, got, want)
+		}
+	}
+	// The original guest is recoverable too: the pause still holds its
+	// refcount, so a plain unpause resumes it.
+	if err := v.HypDomctlUnpause(c, caller, guest.ID); err != nil {
+		t.Fatal(err)
+	}
+	if guest.State != xen.DomRunning {
+		t.Fatalf("guest state = %v after recovery unpause", guest.State)
 	}
 }

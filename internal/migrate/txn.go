@@ -165,12 +165,14 @@ func verifyTableFrame(src, dst *hw.PhysMem, pfn, tgt hw.PFN, delta int64) error 
 	return nil
 }
 
-// repinRoots registers every relocated page-directory root with the
+// RepinRoots registers every relocated page-directory root with the
 // destination VMM, journaling an unpin per pinned root so a later abort
 // releases the type refs again. Pinning validates the relocated tree
 // under the destination's frame accounting — the "tables validated and
-// re-pinned" half of the commit-point check.
-func repinRoots(c *hw.CPU, txn *Txn, dst *xen.VMM, into *xen.Domain,
+// re-pinned" half of the commit-point check. Callers must pass roots in
+// a deterministic (sorted) order: the pin order and the journaled
+// Applied prefix are part of the transaction's replayable record.
+func RepinRoots(c *hw.CPU, txn *Txn, dst *xen.VMM, into *xen.Domain,
 	roots []hw.PFN, delta int64) error {
 
 	// Pin the whole ladder in one multicall: the pins happen inside the

@@ -2,6 +2,7 @@ package xen
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/hw"
@@ -143,11 +144,15 @@ func (d *Domain) bounce(c *hw.CPU, f *hw.TrapFrame) {
 // HasPinned reports whether root is a pinned page-directory of d.
 func (d *Domain) HasPinned(root hw.PFN) bool { return d.pinnedRoots[root] }
 
-// PinnedRoots returns the pinned roots (for checkpoint/migration).
+// PinnedRoots returns the pinned roots (for checkpoint/migration),
+// sorted ascending: map iteration order must not leak into snapshot
+// images, the repinRoots multicall pin order, or its journaled Applied
+// prefix (the same nondeterminism class PR 3 fixed for LiveRoots).
 func (d *Domain) PinnedRoots() []hw.PFN {
 	out := make([]hw.PFN, 0, len(d.pinnedRoots))
 	for r := range d.pinnedRoots {
 		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
