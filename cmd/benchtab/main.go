@@ -32,7 +32,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, fork, fleet, divergence, mc, all")
+		"experiment to run: table1, table2, fig3, fig4, switch, switchscale, ablation, paging, batching, emulation, addrspace, chaos, migrate, fork, fleet, io, divergence, mc, all")
 	samples := flag.Int("samples", 10, "mode-switch samples")
 	seed := flag.Int64("seed", 42, "chaos campaign seed")
 	episodes := flag.Int("episodes", 16, "chaos campaign episodes")
@@ -44,7 +44,7 @@ func main() {
 		"write machine-readable results: BENCH_switch.json (switchscale), BENCH_table1/2.json, BENCH_fig3/4.json")
 	jsonDir := flag.String("jsondir", ".", "directory for -json result files")
 	baseline := flag.String("baseline", "",
-		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate, BENCH_fork.json for -exp fork, BENCH_fleet.json for -exp fleet, BENCH_divergence.json for -exp divergence, BENCH_mc.json for -exp mc")
+		"committed baseline to diff the selected sweep against (exit 1 on breach): BENCH_baseline.json for -exp switchscale, BENCH_migrate.json for -exp migrate, BENCH_fork.json for -exp fork, BENCH_fleet.json for -exp fleet, BENCH_io.json for -exp io, BENCH_divergence.json for -exp divergence, BENCH_mc.json for -exp mc")
 	tolerance := flag.Float64("tolerance", 25,
 		"allowed per-point cycle deviation vs -baseline, percent")
 	policyName := flag.String("policy", "recompute",
@@ -381,6 +381,44 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("baseline %s held (exact sharing counts matched, cycles within %.0f%%) on all %d points\n",
+				*baseline, *tolerance, len(pts))
+		}
+		fmt.Println()
+	}
+	if run("io") {
+		any = true
+		// Load the committed baseline before writing the fresh sweep:
+		// with -json both use the BENCH_io.json name, and a compare
+		// against a just-overwritten file would always pass.
+		var ioBase *bench.IOBaseline
+		if *baseline != "" && strings.EqualFold(*exp, "io") {
+			b, err := bench.LoadIOBaseline(*baseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ioBase = b
+		}
+		pts, sw, err := bench.IOSweep(bench.Options{Policy: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteIOSweep(os.Stdout, pts, sw)
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, "BENCH_io.json")
+			if err := bench.WriteIOBaseline(path, pts, sw); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if ioBase != nil {
+			violations := bench.CompareIOBaseline(ioBase, pts, sw, *tolerance)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "baseline breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline %s held (exact request/doorbell counts matched, cycles within %.0f%%) on all %d points\n",
 				*baseline, *tolerance, len(pts))
 		}
 		fmt.Println()

@@ -20,6 +20,9 @@
 //	                             # kind/node, text or -json
 //	mercuryctl fork -clones 1000 # fork a fleet of CoW clones from one
 //	                             # snapshot, report cache dedup + cost
+//	mercuryctl io -queues 4      # split-device I/O datapath demo: M-N vs
+//	                             # M-V multi-queue rings, then a mode
+//	                             # switch under load with tail latency
 //	mercuryctl mc                # model-check the mode-switch protocol:
 //	                             # exhaustive interleaving exploration
 //	mercuryctl mc -seed-bug toctou -expect commit-with-refcount-held -trace
@@ -94,6 +97,13 @@ func main() {
 	forkClones := subFlags.Int("clones", 64, "fork: domains to fork from one image")
 	forkPages := subFlags.Int("pages", 128, "fork: live data pages in the template")
 	forkDirty := subFlags.Int("dirty", 4, "fork: frames each clone dirties")
+	ioQueues := subFlags.Int("queues", 2, "io: multi-queue ring count")
+	ioDepth := subFlags.Int("iodepth", 64, "io: ring depth per queue, slots")
+	ioRequests := subFlags.Int("requests", 2000, "io: open-loop requests to issue")
+	ioArrival := subFlags.Int("ioarrival", 6000, "io: mean inter-arrival gap, cycles")
+	ioWrites := subFlags.Int("writes", 50, "io: write percentage of the request mix")
+	ioSeed := subFlags.Int64("ioseed", 42, "io: arrival schedule and mix seed")
+	ioNoSwitch := subFlags.Bool("noswitch", false, "io: skip the mid-run V->N mode switch")
 	if sub != "" {
 		if err := subFlags.Parse(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
@@ -131,6 +141,18 @@ func main() {
 			clones: *forkClones,
 			pages:  *forkPages,
 			dirty:  *forkDirty,
+		})
+		return
+	}
+	if sub == "io" {
+		ioCmd(ioOpts{
+			queues:   *ioQueues,
+			depth:    *ioDepth,
+			requests: *ioRequests,
+			arrival:  hw.Cycles(*ioArrival),
+			writes:   *ioWrites,
+			seed:     *ioSeed,
+			noswitch: *ioNoSwitch,
 		})
 		return
 	}
@@ -189,7 +211,7 @@ func main() {
 		case "trace":
 			traceCmd(mc, col, *out)
 		default:
-			log.Fatalf("unknown subcommand %q (want stats, trace, chaos, fleet, events or mc)", sub)
+			log.Fatalf("unknown subcommand %q (want stats, trace, chaos, fleet, events, fork, io or mc)", sub)
 		}
 		return
 	}

@@ -46,6 +46,130 @@ func TestDocsRelativeLinks(t *testing.T) {
 	}
 }
 
+// headingSlug reduces a markdown heading to its GitHub anchor slug:
+// lowercase, punctuation stripped, spaces hyphenated.
+func headingSlug(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteRune(r)
+		}
+	}
+	return strings.ReplaceAll(b.String(), " ", "-")
+}
+
+// mdHeading matches ATX headings; the capture is the heading text.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// TestDocsAnchors resolves every #anchor fragment in the markdown
+// links — both in-page (#foo) and cross-file (DESIGN.md#foo) — against
+// the target file's headings, so a reworded section title breaks CI
+// instead of leaving a link that silently scrolls to the top.
+func TestDocsAnchors(t *testing.T) {
+	mds, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slugs := map[string]map[string]bool{} // file -> anchor set
+	anchorsOf := func(path string) map[string]bool {
+		if s, ok := slugs[path]; ok {
+			return s
+		}
+		s := map[string]bool{}
+		if data, err := os.ReadFile(path); err == nil {
+			for _, m := range mdHeading.FindAllStringSubmatch(string(data), -1) {
+				s[headingSlug(m[1])] = true
+			}
+		}
+		slugs[path] = s
+		return s
+	}
+	checked := 0
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, anchor, ok := strings.Cut(target, "#")
+			if !ok || anchor == "" {
+				continue
+			}
+			if file == "" {
+				file = md
+			} else {
+				file = filepath.Join(filepath.Dir(md), file)
+			}
+			if !strings.HasSuffix(file, ".md") {
+				continue
+			}
+			checked++
+			if !anchorsOf(file)[anchor] {
+				t.Errorf("%s: link %q: no heading in %s slugs to %q",
+					md, m[1], file, anchor)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no anchored markdown links found; the check is vacuous")
+	}
+}
+
+// flagDef matches a flag definition in Go source: any FlagSet method
+// or package-level flag call of the form .String("name", ...).
+var flagDef = regexp.MustCompile(`\.(?:Bool|Int|Int64|Uint|Uint64|String|Float64|Duration)\(\s*"([^"]+)"`)
+
+// readmeFlag matches an inline-backticked CLI flag in the docs:
+// `-queues N`, `-noswitch`, `-kind mode-switch|...`.
+var readmeFlag = regexp.MustCompile("`-([a-z][a-z0-9-]*)[^`]*`")
+
+// TestDocsFlagsExist checks that every backticked `-flag` the README's
+// CLI tables mention is actually defined by a flag declaration under
+// cmd/, so renaming a flag without updating the docs fails CI.
+func TestDocsFlagsExist(t *testing.T) {
+	defined := map[string]bool{}
+	srcs, err := filepath.Glob("cmd/*/*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) == 0 {
+		t.Fatal("no Go sources under cmd/")
+	}
+	for _, src := range srcs {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range flagDef.FindAllStringSubmatch(string(data), -1) {
+			defined[m[1]] = true
+		}
+	}
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, m := range readmeFlag.FindAllStringSubmatch(string(data), -1) {
+		checked++
+		if !defined[m[1]] {
+			t.Errorf("README.md mentions flag %q (as %s) but no cmd/ source defines it", m[1], m[0])
+		}
+	}
+	if checked == 0 {
+		t.Error("no backticked flags found in README.md; the check is vacuous")
+	}
+}
+
 // TestDocsBacktickedFiles checks that repo paths named in backticks in
 // the README and ARCHITECTURE (the docs most prone to drift) still
 // exist: `DESIGN.md`, `internal/fleet`, `cmd/benchtab`, ...

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/hw"
+	"repro/internal/workloads"
+)
+
+// IOPoint is one cell of the split-device I/O sweep: an open-loop
+// request stream at one (queues, depth, arrival-rate) setting, run
+// through both the native block layer (M-N) and the multi-queue split
+// datapath (M-V). The request and doorbell counts are exact algorithmic
+// outcomes of the deterministic simulation; only the cycle figures ride
+// a tolerance band.
+type IOPoint struct {
+	Queues  int       `json:"queues"`
+	Depth   int       `json:"depth"`
+	Arrival hw.Cycles `json:"arrival_cyc"`
+
+	Native  workloads.IOResult `json:"native"`
+	Virtual workloads.IOResult `json:"virtual"`
+
+	// SlowdownPct is the M-V mean-latency overhead over M-N at this
+	// setting (negative means the split path was faster).
+	SlowdownPct float64 `json:"slowdown_pct"`
+}
+
+// IOSwitchPoint is the mode-switch tail-latency story: one loaded M-V
+// run with a V→N switch fired mid-stream, reporting the latency
+// distribution of the requests in flight across the switch window.
+type IOSwitchPoint struct {
+	Queues  int       `json:"queues"`
+	Depth   int       `json:"depth"`
+	Arrival hw.Cycles `json:"arrival_cyc"`
+
+	Result workloads.IOResult `json:"result"`
+}
+
+// The swept grid: queue counts x ring depths x open-loop arrival gaps.
+// The 3000-cycle column saturates the datapath (arrival faster than the
+// ~15k-cycle M-V service rate, latency dominated by queueing); 20000
+// keeps it stable, so latency is dominated by the doorbell-coalescing
+// wait — the batching-vs-latency tradeoff the threshold buys into.
+var (
+	IOQueues   = []int{1, 4}
+	IODepths   = []int{16, 64}
+	IOArrivals = []hw.Cycles{3000, 20000}
+)
+
+// ioSeed fixes the arrival schedule and read/write mix so the committed
+// baseline's counts are reproducible bit-for-bit.
+const ioSeed = 42
+
+// ioPointRequests keeps each cell long enough for stable doorbell
+// coalescing statistics without dominating the sweep's runtime.
+const ioPointRequests = 5000
+
+// ioSwitchRequests sizes the switch point so plenty of requests are in
+// flight when the detach fires at the halfway mark.
+const ioSwitchRequests = 8000
+
+// IOSweep runs the I/O grid plus the mode-switch point.
+func IOSweep(opt Options) ([]IOPoint, *IOSwitchPoint, error) {
+	opt.fill()
+	var pts []IOPoint
+	for _, q := range IOQueues {
+		for _, d := range IODepths {
+			for _, arr := range IOArrivals {
+				pt, err := ioPoint(opt, q, d, arr)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bench: io %dq/%dd/%darr: %w", q, d, arr, err)
+				}
+				pts = append(pts, pt)
+			}
+		}
+	}
+	sw, err := ioSwitchPoint(opt, 4, 64, 6000)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: io switch point: %w", err)
+	}
+	return pts, sw, nil
+}
+
+func ioPoint(opt Options, queues, depth int, arrival hw.Cycles) (IOPoint, error) {
+	pt := IOPoint{Queues: queues, Depth: depth, Arrival: arrival}
+	nat, err := workloads.RunIOServer(workloads.IOConfig{
+		Queues: queues, Depth: depth, Requests: ioPointRequests,
+		MeanArrival: arrival, Seed: ioSeed, Policy: opt.Policy,
+	})
+	if err != nil {
+		return pt, err
+	}
+	virt, err := workloads.RunIOServer(workloads.IOConfig{
+		Queues: queues, Depth: depth, Requests: ioPointRequests,
+		MeanArrival: arrival, Seed: ioSeed, Policy: opt.Policy,
+		Virtual: true,
+	})
+	if err != nil {
+		return pt, err
+	}
+	pt.Native, pt.Virtual = *nat, *virt
+	if nat.Mean > 0 {
+		pt.SlowdownPct = (float64(virt.Mean) - float64(nat.Mean)) / float64(nat.Mean) * 100
+	}
+	return pt, nil
+}
+
+func ioSwitchPoint(opt Options, queues, depth int, arrival hw.Cycles) (*IOSwitchPoint, error) {
+	res, err := workloads.RunIOServer(workloads.IOConfig{
+		Queues: queues, Depth: depth, Requests: ioSwitchRequests,
+		MeanArrival: arrival, Seed: ioSeed, Policy: opt.Policy,
+		Virtual: true, SwitchMid: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IOSwitchPoint{Queues: queues, Depth: depth, Arrival: arrival, Result: *res}, nil
+}
+
+// WriteIOSweep renders the sweep and the switch point as tables.
+func WriteIOSweep(w io.Writer, pts []IOPoint, sw *IOSwitchPoint) {
+	fmt.Fprintf(w, "Split-device I/O datapath: M-N native vs M-V multi-queue rings\n")
+	fmt.Fprintf(w, "%3s %5s %7s %12s %12s %9s %9s %9s %8s\n",
+		"q", "depth", "arrival", "nat p99(cyc)", "mv p99(cyc)", "slow(%)", "suppr(x)", "kicks", "forced")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%3d %5d %7d %12d %12d %9.1f %9.1f %9d %8d\n",
+			pt.Queues, pt.Depth, pt.Arrival, pt.Native.P99, pt.Virtual.P99,
+			pt.SlowdownPct, pt.Virtual.SuppressionRatio,
+			pt.Virtual.ReqKicks+pt.Virtual.RespKicks, pt.Virtual.ForcedKicks)
+	}
+	if sw != nil {
+		r := sw.Result
+		fmt.Fprintf(w, "\nMode switch under load (%dq/%dd/%darr, %d requests)\n",
+			sw.Queues, sw.Depth, sw.Arrival, r.Submitted)
+		fmt.Fprintf(w, "  switch %d cyc; %d requests crossed the window: p50=%d p99=%d p999=%d cyc\n",
+			r.SwitchCyc, r.WindowRequests, r.WindowP50, r.WindowP99, r.WindowP999)
+		fmt.Fprintf(w, "  exactly-once: %d submitted, %d completed, %d dup, %d lost; final mode %s\n",
+			r.Submitted, r.Completed, r.Duplicates, r.Lost, r.FinalMode)
+	}
+}
+
+// IOBaselineSchema versions the committed I/O baseline.
+const IOBaselineSchema = "mercury-bench/io/v1"
+
+// IOBaseline is the serialized sweep: committed at the repo root as
+// BENCH_io.json and diffed in CI like the other baselines.
+type IOBaseline struct {
+	Schema string         `json:"schema"`
+	Sweep  []IOPoint      `json:"sweep"`
+	Switch *IOSwitchPoint `json:"switch"`
+}
+
+// WriteIOBaseline writes the sweep to path as indented JSON.
+func WriteIOBaseline(path string, pts []IOPoint, sw *IOSwitchPoint) error {
+	b := IOBaseline{Schema: IOBaselineSchema, Sweep: pts, Switch: sw}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding io baseline: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing io baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadIOBaseline reads a committed I/O baseline.
+func LoadIOBaseline(path string) (*IOBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading io baseline: %w", err)
+	}
+	var b IOBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: decoding io baseline %s: %w", path, err)
+	}
+	if b.Schema != IOBaselineSchema {
+		return nil, fmt.Errorf("bench: io baseline %s has schema %q, want %q",
+			path, b.Schema, IOBaselineSchema)
+	}
+	return &b, nil
+}
+
+// CompareIOBaseline diffs a fresh sweep against the committed baseline.
+// Points match by (queues, depth, arrival); request, doorbell, and
+// backend counts must match exactly (algorithmic outcomes of a
+// deterministic simulation), while latency and switch cycles may drift
+// by tolerancePct.
+func CompareIOBaseline(base *IOBaseline, fresh []IOPoint, sw *IOSwitchPoint, tolerancePct float64) []string {
+	type key struct {
+		queues  int
+		depth   int
+		arrival hw.Cycles
+	}
+	idx := make(map[key]IOPoint, len(base.Sweep))
+	for _, pt := range base.Sweep {
+		idx[key{pt.Queues, pt.Depth, pt.Arrival}] = pt
+	}
+
+	var violations []string
+	cycles := func(name, field string, want, got hw.Cycles) {
+		if want == 0 {
+			if got != 0 {
+				violations = append(violations,
+					fmt.Sprintf("%s %s: baseline 0, measured %d", name, field, got))
+			}
+			return
+		}
+		dev := (float64(got) - float64(want)) / float64(want) * 100
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > tolerancePct {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: baseline %d, measured %d (%.1f%% > %.1f%% tolerance)",
+					name, field, want, got, dev, tolerancePct))
+		}
+	}
+	exact := func(name, field string, want, got any) {
+		if want != got {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: baseline %v, measured %v", name, field, want, got))
+		}
+	}
+	diffResult := func(name string, want, got workloads.IOResult) {
+		exact(name, "submitted", want.Submitted, got.Submitted)
+		exact(name, "completed", want.Completed, got.Completed)
+		exact(name, "duplicates", want.Duplicates, got.Duplicates)
+		exact(name, "lost", want.Lost, got.Lost)
+		exact(name, "req_slots", want.ReqSlots, got.ReqSlots)
+		exact(name, "req_kicks", want.ReqKicks, got.ReqKicks)
+		exact(name, "resp_slots", want.RespSlots, got.RespSlots)
+		exact(name, "resp_kicks", want.RespKicks, got.RespKicks)
+		exact(name, "forced_kicks", want.ForcedKicks, got.ForcedKicks)
+		exact(name, "backend_bursts", want.BackendBursts, got.BackendBursts)
+		exact(name, "final_mode", want.FinalMode, got.FinalMode)
+		cycles(name, "p50", want.P50, got.P50)
+		cycles(name, "p99", want.P99, got.P99)
+		cycles(name, "p999", want.P999, got.P999)
+		cycles(name, "mean", want.Mean, got.Mean)
+		cycles(name, "total_cyc", want.TotalCyc, got.TotalCyc)
+	}
+
+	seen := make(map[key]bool, len(fresh))
+	for _, pt := range fresh {
+		k := key{pt.Queues, pt.Depth, pt.Arrival}
+		seen[k] = true
+		want, ok := idx[k]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%dq/%dd/%darr: not in baseline", k.queues, k.depth, k.arrival))
+			continue
+		}
+		name := fmt.Sprintf("%dq/%dd/%darr", k.queues, k.depth, k.arrival)
+		diffResult(name+" native", want.Native, pt.Native)
+		diffResult(name+" virtual", want.Virtual, pt.Virtual)
+	}
+	for k := range idx {
+		if !seen[k] {
+			violations = append(violations,
+				fmt.Sprintf("%dq/%dd/%darr: in baseline but not measured", k.queues, k.depth, k.arrival))
+		}
+	}
+	switch {
+	case base.Switch == nil && sw != nil:
+		violations = append(violations, "switch point: not in baseline")
+	case base.Switch != nil && sw == nil:
+		violations = append(violations, "switch point: in baseline but not measured")
+	case base.Switch != nil && sw != nil:
+		name := "switch"
+		diffResult(name, base.Switch.Result, sw.Result)
+		exact(name, "window_requests", base.Switch.Result.WindowRequests, sw.Result.WindowRequests)
+		cycles(name, "switch_cyc", base.Switch.Result.SwitchCyc, sw.Result.SwitchCyc)
+		cycles(name, "window_p50", base.Switch.Result.WindowP50, sw.Result.WindowP50)
+		cycles(name, "window_p99", base.Switch.Result.WindowP99, sw.Result.WindowP99)
+		cycles(name, "window_p999", base.Switch.Result.WindowP999, sw.Result.WindowP999)
+	}
+	return violations
+}

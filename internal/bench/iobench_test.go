@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workloads"
+)
+
+func sampleIOPoint(t *testing.T, queues, depth int, arrival hw.Cycles) IOPoint {
+	t.Helper()
+	pt := IOPoint{Queues: queues, Depth: depth, Arrival: arrival}
+	nat, err := workloads.RunIOServer(workloads.IOConfig{
+		Queues: queues, Depth: depth, Requests: 300, MeanArrival: arrival, Seed: ioSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := workloads.RunIOServer(workloads.IOConfig{
+		Queues: queues, Depth: depth, Requests: 300, MeanArrival: arrival, Seed: ioSeed,
+		Virtual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Native, pt.Virtual = *nat, *virt
+	return pt
+}
+
+// A baseline written to disk must load and self-compare clean, and a
+// perturbed count must be flagged as an exact-field violation while a
+// small latency drift stays inside the band.
+func TestIOBaselineRoundTripAndCompare(t *testing.T) {
+	pts := []IOPoint{sampleIOPoint(t, 1, 16, 6000)}
+	res, err := workloads.RunIOServer(workloads.IOConfig{
+		Queues: 2, Depth: 32, Requests: 400, MeanArrival: 6000, Seed: ioSeed,
+		Virtual: true, SwitchMid: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := &IOSwitchPoint{Queues: 2, Depth: 32, Arrival: 6000, Result: *res}
+
+	path := filepath.Join(t.TempDir(), "BENCH_io.json")
+	if err := WriteIOBaseline(path, pts, sw); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadIOBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CompareIOBaseline(base, pts, sw, 25); len(v) != 0 {
+		t.Fatalf("self-compare violated: %v", v)
+	}
+
+	// A changed doorbell count is an exact violation regardless of band.
+	bad := make([]IOPoint, len(pts))
+	copy(bad, pts)
+	bad[0].Virtual.ReqKicks++
+	v := CompareIOBaseline(base, bad, sw, 25)
+	if len(v) == 0 || !strings.Contains(strings.Join(v, ";"), "req_kicks") {
+		t.Fatalf("perturbed req_kicks not flagged: %v", v)
+	}
+
+	// Latency drift inside the band passes; outside fails.
+	drift := make([]IOPoint, len(pts))
+	copy(drift, pts)
+	drift[0].Virtual.P99 = drift[0].Virtual.P99 * 110 / 100
+	if v := CompareIOBaseline(base, drift, sw, 25); len(v) != 0 {
+		t.Fatalf("10%% drift flagged at 25%% tolerance: %v", v)
+	}
+	drift[0].Virtual.P99 = pts[0].Virtual.P99 * 2
+	if v := CompareIOBaseline(base, drift, sw, 25); len(v) == 0 {
+		t.Fatal("100% drift not flagged")
+	}
+
+	// A missing switch point is flagged both ways.
+	if v := CompareIOBaseline(base, pts, nil, 25); len(v) == 0 {
+		t.Fatal("missing switch point not flagged")
+	}
+}
+
+// The acceptance criteria ride on the sweep's virtual points: the
+// suppression ratio at depth >= 64 and the switch point's window
+// quantiles. Pin them on a sample cell rather than the full grid.
+func TestIOPointMeetsAcceptance(t *testing.T) {
+	pt := sampleIOPoint(t, 1, 64, 3000)
+	if pt.Virtual.SuppressionRatio < 5 {
+		t.Fatalf("suppression ratio %.1f < 5 at depth 64", pt.Virtual.SuppressionRatio)
+	}
+	if pt.Virtual.Completed != pt.Virtual.Submitted {
+		t.Fatalf("virtual cell lost requests: %d of %d", pt.Virtual.Completed, pt.Virtual.Submitted)
+	}
+	if pt.Native.Completed != pt.Native.Submitted {
+		t.Fatalf("native cell lost requests: %d of %d", pt.Native.Completed, pt.Native.Submitted)
+	}
+}

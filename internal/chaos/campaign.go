@@ -38,6 +38,9 @@ type Config struct {
 	// Fork, when set, adds the snapshot-cache faults (ForkFaults) and
 	// gives DetectStore episodes their probe target.
 	Fork *ForkEnv
+	// IO, when set, adds the split-device datapath faults (IOFaults)
+	// and gives DetectIO episodes their probe target.
+	IO *IOEnv
 }
 
 // DefaultConfig returns a fully interleaved campaign for the seed.
@@ -155,6 +158,11 @@ func Run(mc *core.Mercury, cfg Config) (*Report, error) {
 			// attacks the fork store's refcount and content integrity.
 			faults = append(faults, ForkFaults()...)
 		}
+		if cfg.IO != nil {
+			// With a split-device node available the campaign also
+			// attacks the multi-queue I/O rings and their doorbells.
+			faults = append(faults, IOFaults()...)
+		}
 	}
 	rep := &Report{Seed: cfg.Seed}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -167,7 +175,7 @@ func Run(mc *core.Mercury, cfg Config) (*Report, error) {
 		// Populate some page tables so guest-layer faults have victims.
 		base := p.Mmap(8, guest.ProtRead|guest.ProtWrite, true)
 		p.Touch(base, 8, true)
-		ctx := &Ctx{MC: mc, P: p, Rand: rng, Migrate: &migrate.FaultInjection{}, Fork: cfg.Fork}
+		ctx := &Ctx{MC: mc, P: p, Rand: rng, Migrate: &migrate.FaultInjection{}, Fork: cfg.Fork, IO: cfg.IO}
 		for i := 0; i < cfg.Episodes; i++ {
 			ep, err := runEpisode(ctx, cfg, faults, rep, tel, i)
 			rep.Episodes = append(rep.Episodes, ep)
@@ -257,6 +265,8 @@ func runEpisode(ctx *Ctx, cfg Config, faults []*Fault, rep *Report, tel *chaosOb
 		derr = detectTxn(ctx, cfg, &ep, act)
 	case DetectStore:
 		derr = detectStore(ctx, cfg, &ep, act)
+	case DetectIO:
+		derr = detectIO(ctx, cfg, &ep, act)
 	default:
 		derr = fmt.Errorf("unknown detector %q", f.Detector)
 	}

@@ -37,6 +37,10 @@ const (
 	// content verification, the refcount audit, or the fork
 	// transaction's rollback (internal/fork).
 	DetectStore Detector = "store-audit"
+	// DetectIO: the split-device datapath's own defenses catch the
+	// fault — the backend's ring-progress audit or the ring's poll-side
+	// doorbell recovery accounting (internal/xen's multi-queue rings).
+	DetectIO Detector = "io-audit"
 )
 
 // Ctx is the environment an injector runs in: the system under test,
@@ -52,6 +56,9 @@ type Ctx struct {
 	// Fork is the snapshot-cache node store faults attack (nil unless
 	// the campaign configured one).
 	Fork *ForkEnv
+	// IO is the split-device datapath node the I/O faults attack (nil
+	// unless the campaign configured one).
+	IO *IOEnv
 }
 
 // Active is one injected fault: how to remove it, and — for sensor-

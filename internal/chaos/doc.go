@@ -19,4 +19,11 @@
 // draw every random choice (victim frames, sensors, interleaving) from
 // the campaign's rand.Rand, and the simulation itself is cycle-
 // deterministic on a uniprocessor.
+//
+// Optional environments gate extra fault classes into the rotation:
+// a standby node (Config.Standby) adds the migration faults behind
+// the txn-rollback detector, a fork store (Config.Fork) the
+// corruption/ref-leak/pin faults behind store-audit, and a
+// split-device node (Config.IO) the ring-stall and doorbell-lost
+// faults behind the backend's progress audit (DetectIO).
 package chaos

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Every split-device fault class, injected alone, must be caught by the
+// datapath's own defenses: the stall by the backend's progress audit,
+// the lost doorbell by the ring's poll-recovery accounting.
+func TestChaosIOFaultEpisodes(t *testing.T) {
+	for _, f := range IOFaults() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			mc := newSystem(t, 1, core.TrackRecompute)
+			ie, err := NewIOEnv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(mc, Config{
+				Seed: 5, Episodes: 1, Faults: []*Fault{f}, IO: ie,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ep := rep.Episodes[0]
+			if !ep.Injected || !ep.Detected || !ep.Healed {
+				t.Fatalf("episode verdict: injected=%v detected=%v healed=%v (%s)",
+					ep.Injected, ep.Detected, ep.Healed, ep.Detail)
+			}
+			if rep.Missed != 0 {
+				t.Fatalf("%d missed", rep.Missed)
+			}
+			// The episode left the datapath pristine: nothing queued,
+			// nothing stalled.
+			if n := ie.BE.Pending(); n != 0 {
+				t.Fatalf("%d requests left pending", n)
+			}
+			if msg := ie.BE.Audit(); msg != "" {
+				t.Fatalf("post-episode audit: %s", msg)
+			}
+		})
+	}
+}
+
+// The io fault classes ride along only when an io environment is wired
+// in — the default catalog is unchanged.
+func TestChaosIOFaultsGatedOnEnv(t *testing.T) {
+	mc := newSystem(t, 1, core.TrackRecompute)
+	for _, f := range Catalog(mc) {
+		if f.Detector == DetectIO {
+			t.Fatalf("catalog includes io fault %q without an io env", f.Name)
+		}
+	}
+}
+
+// A mixed fixed-seed campaign with an io node: the datapath faults
+// rotate with everything else and nothing is missed.
+func TestChaosIOCampaignFixedSeed(t *testing.T) {
+	mc := newSystem(t, 1, core.TrackRecompute)
+	ie, err := NewIOEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3)
+	cfg.Episodes = 12
+	cfg.IO = ie
+	rep, err := Run(mc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missed != 0 {
+		t.Fatalf("campaign missed %d faults: %s", rep.Missed, rep.Summary())
+	}
+	ioEpisodes := 0
+	for _, ep := range rep.Episodes {
+		if ep.Detector == DetectIO {
+			ioEpisodes++
+			if !ep.Healed {
+				t.Fatalf("io episode %d (%s) not healed: %s", ep.Index, ep.Fault, ep.Detail)
+			}
+		}
+	}
+	if ioEpisodes == 0 {
+		t.Fatal("seed 3 drew no io episodes — pick another seed")
+	}
+}

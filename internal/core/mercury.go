@@ -131,6 +131,12 @@ type Mercury struct {
 
 	smp rendezvousState
 
+	// quiesceMu guards quiescers: callbacks a datapath registers to
+	// drain its in-flight work before a detach tears the VMM out from
+	// under it (the §6.3 driver-domain quiesce contract).
+	quiesceMu sync.Mutex
+	quiescers []detachQuiescer
+
 	// lastErr records the most recent switch failure (nil after a
 	// successful switch).
 	lastErr atomic.Pointer[switchError]
@@ -415,6 +421,57 @@ func (mc *Mercury) SwitchSync(c *hw.CPU, target Mode) error {
 		}
 	}
 	return err
+}
+
+// detachQuiescer is one named quiesce callback.
+type detachQuiescer struct {
+	name string
+	fn   func(c *hw.CPU) error
+}
+
+// RegisterDetachQuiescer installs a callback that detach runs — before
+// the hosted-domains check — to drain in-flight work that depends on
+// the VMM: an I/O datapath drains its rings, ends its grants, and
+// destroys the client domains it was serving. A quiescer that errors
+// aborts the switch (the system stays virtual, failure-resistant).
+// Registering the same name again replaces the previous callback.
+func (mc *Mercury) RegisterDetachQuiescer(name string, fn func(c *hw.CPU) error) {
+	mc.quiesceMu.Lock()
+	defer mc.quiesceMu.Unlock()
+	for i := range mc.quiescers {
+		if mc.quiescers[i].name == name {
+			mc.quiescers[i].fn = fn
+			return
+		}
+	}
+	mc.quiescers = append(mc.quiescers, detachQuiescer{name: name, fn: fn})
+}
+
+// UnregisterDetachQuiescer removes a quiescer by name (no-op if absent).
+func (mc *Mercury) UnregisterDetachQuiescer(name string) {
+	mc.quiesceMu.Lock()
+	defer mc.quiesceMu.Unlock()
+	for i := range mc.quiescers {
+		if mc.quiescers[i].name == name {
+			mc.quiescers = append(mc.quiescers[:i], mc.quiescers[i+1:]...)
+			return
+		}
+	}
+}
+
+// runDetachQuiescers invokes every registered quiescer in registration
+// order, stopping at the first error.
+func (mc *Mercury) runDetachQuiescers(c *hw.CPU) error {
+	mc.quiesceMu.Lock()
+	qs := make([]detachQuiescer, len(mc.quiescers))
+	copy(qs, mc.quiescers)
+	mc.quiesceMu.Unlock()
+	for _, q := range qs {
+		if err := q.fn(c); err != nil {
+			return fmt.Errorf("quiesce %s: %w", q.name, err)
+		}
+	}
+	return nil
 }
 
 // HostedDomains returns the unprivileged domains currently hosted (only

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// TestDetachRunsQuiescers: a registered datapath quiescer runs during
+// the V→N detach, before the switch commits.
+func TestDetachRunsQuiescers(t *testing.T) {
+	mc := newMercury(t, 1, TrackRecompute)
+	c := mc.M.BootCPU()
+	if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	modeWhenRun := ModeNative
+	mc.RegisterDetachQuiescer("test-dp", func(c *hw.CPU) error {
+		ran++
+		modeWhenRun = mc.Mode()
+		return nil
+	})
+	if err := mc.SwitchSync(c, ModeNative); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("quiescer ran %d times, want 1", ran)
+	}
+	// The quiescer drains while the VMM is still up: mode not yet native.
+	if modeWhenRun == ModeNative {
+		t.Fatal("quiescer ran after the switch committed")
+	}
+	// Attach must not run it again.
+	if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("quiescer ran on attach (count %d)", ran)
+	}
+}
+
+// TestQuiescerErrorAbortsSwitch: a datapath that cannot drain keeps the
+// system virtual — the switch fails, is accounted, and the mode is
+// unchanged.
+func TestQuiescerErrorAbortsSwitch(t *testing.T) {
+	mc := newMercury(t, 1, TrackRecompute)
+	c := mc.M.BootCPU()
+	if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("in-flight I/O will not drain")
+	mc.RegisterDetachQuiescer("wedged", func(c *hw.CPU) error { return boom })
+	failedBefore := mc.Stats.FailedSwitches.Load()
+	if err := mc.SwitchSync(c, ModeNative); err == nil {
+		t.Fatal("switch succeeded past a wedged quiescer")
+	}
+	if mc.Mode() != ModePartialVirtual {
+		t.Fatalf("mode %v after aborted detach, want partial-virtual", mc.Mode())
+	}
+	if mc.Stats.FailedSwitches.Load() != failedBefore+1 {
+		t.Fatal("failed switch not accounted")
+	}
+	if e := mc.LastSwitchError(); e == nil || !strings.Contains(e.Error(), "wedged") {
+		t.Fatalf("LastSwitchError = %v, want quiesce wedged error", e)
+	}
+
+	// Unregister the wedged datapath: the switch goes through.
+	mc.UnregisterDetachQuiescer("wedged")
+	if err := mc.SwitchSync(c, ModeNative); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Mode() != ModeNative {
+		t.Fatalf("mode %v", mc.Mode())
+	}
+}
+
+// TestQuiescerSameNameReplaces: re-registering under the same name
+// replaces the callback instead of stacking a stale one.
+func TestQuiescerSameNameReplaces(t *testing.T) {
+	mc := newMercury(t, 1, TrackRecompute)
+	c := mc.M.BootCPU()
+	if err := mc.SwitchSync(c, ModePartialVirtual); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	mc.RegisterDetachQuiescer("dp", func(c *hw.CPU) error { got = "old"; return nil })
+	mc.RegisterDetachQuiescer("dp", func(c *hw.CPU) error { got = "new"; return nil })
+	if err := mc.SwitchSync(c, ModeNative); err != nil {
+		t.Fatal(err)
+	}
+	if got != "new" {
+		t.Fatalf("ran %q, want the replacement", got)
+	}
+}

@@ -287,6 +287,18 @@ func (mc *Mercury) detach(c *hw.CPU, f *hw.TrapFrame) error {
 	k, v := mc.K, mc.VMM
 	col := mc.telCol()
 
+	// -- datapath quiesce (§6.3): registered datapaths drain their
+	// in-flight I/O, end their grants, and tear down the client domains
+	// they serve. Runs before the hosted-domains check so a quiescer
+	// that destroys its clients satisfies it; an error aborts the
+	// switch and the system keeps running virtual.
+	qp := obs.Begin(col, c.ID, c.Now(), "phase/io-quiesce")
+	if err := mc.runDetachQuiescers(c); err != nil {
+		qp.EndArg(c.Now(), 1)
+		return fmt.Errorf("detach: %w", err)
+	}
+	qp.End(c.Now())
+
 	// A driver domain hosting other live domains cannot leave: they
 	// would lose their device path. They must be migrated or destroyed
 	// first (§6.3).

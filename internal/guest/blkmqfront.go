@@ -1,0 +1,220 @@
+package guest
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/xen"
+)
+
+// MQIORequest is one asynchronous block transfer submitted to the
+// multi-queue frontend. The caller owns ID allocation (it is how the
+// submitter matches completions back to requests).
+type MQIORequest struct {
+	ID    uint64
+	Block uint64
+	Write bool
+	PFN   hw.PFN
+}
+
+// MQFrontQueue is the frontend half of one hardware queue.
+type MQFrontQueue struct {
+	Ring     *xen.IORing[xen.BlkRequest, xen.BlkResponse]
+	KickPort xen.Port // bound to the backend's per-queue event port
+
+	outstanding int
+	grants      map[uint64]xen.GrantRef
+	pushBuf     []xen.BlkRequest
+	respBuf     []xen.BlkResponse
+	kickPending bool
+}
+
+// MQFrontStats counts frontend-side datapath activity.
+type MQFrontStats struct {
+	Submitted   atomic.Uint64
+	Completed   atomic.Uint64
+	Errors      atomic.Uint64
+	ForcedKicks atomic.Uint64 // unconditional drain-path doorbells
+}
+
+// MQBlockFrontend is the asynchronous multi-queue blkfront: per-vCPU
+// queues submitted in bursts, doorbells decided by the event-index
+// protocol and — when several queues need kicking — folded into one
+// multicall, so a whole submission sweep costs a single VMM entry.
+// Unlike FrontendBlock it never blocks: completions come back through
+// Poll, which is what lets a mode switch find (and drain) in-flight
+// requests.
+type MQBlockFrontend struct {
+	V       *xen.VMM
+	D       *xen.Domain // this (frontend) domain
+	Backend xen.DomID
+
+	// RespThreshold is the completion-doorbell re-arm distance
+	// advertised to the backend: ask to be woken only once this many
+	// responses queue. The submitter's poll loop covers the trickle.
+	RespThreshold int
+
+	Queues []*MQFrontQueue
+
+	mc    xen.Multicall
+	Stats MQFrontStats
+}
+
+// NewMQBlockFrontend builds an empty frontend; wire queues with
+// AddQueue after negotiating rings and ports.
+func NewMQBlockFrontend(v *xen.VMM, d *xen.Domain, backend xen.DomID, respThreshold int) *MQBlockFrontend {
+	if respThreshold < 1 {
+		respThreshold = 1
+	}
+	return &MQBlockFrontend{V: v, D: d, Backend: backend, RespThreshold: respThreshold}
+}
+
+// AddQueue attaches one negotiated queue: the shared ring and the
+// frontend's bound doorbell port.
+func (f *MQBlockFrontend) AddQueue(ring *xen.IORing[xen.BlkRequest, xen.BlkResponse], kick xen.Port) {
+	f.Queues = append(f.Queues, &MQFrontQueue{
+		Ring:     ring,
+		KickPort: kick,
+		grants:   make(map[uint64]xen.GrantRef, ring.Capacity()),
+		pushBuf:  make([]xen.BlkRequest, 0, ring.Capacity()),
+		respBuf:  make([]xen.BlkResponse, ring.Capacity()),
+	})
+}
+
+// SubmitAsync pushes as many of reqs as queue qi has room for (the
+// outstanding count may never exceed ring capacity — a response needs
+// the slot its request freed) and returns how many were accepted.
+// Grants are taken per request; the doorbell decision is one per push
+// and is only recorded — Kick sends the batched notifications.
+func (f *MQBlockFrontend) SubmitAsync(c *hw.CPU, qi int, reqs []MQIORequest) int {
+	q := f.Queues[qi]
+	room := q.Ring.Capacity() - q.outstanding
+	if room <= 0 || len(reqs) == 0 {
+		return 0
+	}
+	if len(reqs) > room {
+		reqs = reqs[:room]
+	}
+	q.pushBuf = q.pushBuf[:0]
+	for _, r := range reqs {
+		ref := f.D.GrantAccess(c, f.Backend, r.PFN, r.Write)
+		q.grants[r.ID] = ref
+		q.pushBuf = append(q.pushBuf, xen.BlkRequest{
+			ID: r.ID, Block: r.Block, Write: r.Write, Grant: ref, Front: f.D.ID,
+		})
+	}
+	n, notify := q.Ring.PushRequests(c, q.pushBuf)
+	if n != len(q.pushBuf) {
+		// Capacity was checked against outstanding; a short push means
+		// the accounting is broken, not that the ring is busy.
+		panic(fmt.Sprintf("guest: blkmq queue %d: pushed %d of %d with %d outstanding",
+			qi, n, len(q.pushBuf), q.outstanding))
+	}
+	q.outstanding += n
+	f.Stats.Submitted.Add(uint64(n))
+	f.V.NoteDoorbell(notify)
+	if notify {
+		q.kickPending = true
+	}
+	return n
+}
+
+// Kick delivers every pending queue doorbell in one multicall — one
+// VMM entry no matter how many queues a submission sweep touched.
+func (f *MQBlockFrontend) Kick(c *hw.CPU) {
+	f.mc.Reset()
+	for _, q := range f.Queues {
+		if q.kickPending {
+			q.kickPending = false
+			f.mc.AddEvtchnSend(q.KickPort)
+		}
+	}
+	if f.mc.Len() == 0 {
+		return
+	}
+	if err := f.V.HypMulticall(c, f.D, &f.mc); err != nil {
+		panic(fmt.Sprintf("guest: blkmq kick: %v", err))
+	}
+}
+
+// ForceKick rings queue qi's doorbell unconditionally — the drain path
+// uses it to flush a sub-threshold tail the coalescing protocol would
+// otherwise leave for the backend's next scheduler slice.
+func (f *MQBlockFrontend) ForceKick(c *hw.CPU, qi int) {
+	f.Stats.ForcedKicks.Add(1)
+	if err := f.V.EvtchnSend(c, f.D, f.Queues[qi].KickPort); err != nil {
+		panic(fmt.Sprintf("guest: blkmq force kick: %v", err))
+	}
+}
+
+// Poll collects completions from queue qi, ending each request's grant
+// and invoking fn per response. The FINAL CHECK loop re-arms the
+// completion doorbell and keeps draining while responses race in.
+// Returns the number collected.
+func (f *MQBlockFrontend) Poll(c *hw.CPU, qi int, fn func(xen.BlkResponse)) int {
+	q := f.Queues[qi]
+	total := 0
+	for {
+		n := q.Ring.TakeResponses(c, q.respBuf)
+		if n == 0 {
+			if !q.Ring.FinishResponseConsume(c, f.RespThreshold) {
+				return total
+			}
+			continue
+		}
+		for _, resp := range q.respBuf[:n] {
+			if ref, ok := q.grants[resp.ID]; ok {
+				if err := f.D.GrantEnd(c, ref); err != nil {
+					panic(fmt.Sprintf("guest: blkmq: %v", err))
+				}
+				delete(q.grants, resp.ID)
+			}
+			q.outstanding--
+			f.Stats.Completed.Add(1)
+			if resp.Err != "" {
+				f.Stats.Errors.Add(1)
+			}
+			if fn != nil {
+				fn(resp)
+			}
+		}
+		total += n
+	}
+}
+
+// Outstanding is the number of submitted, uncompleted requests across
+// all queues.
+func (f *MQBlockFrontend) Outstanding() int {
+	n := 0
+	for _, q := range f.Queues {
+		n += q.outstanding
+	}
+	return n
+}
+
+// Drain force-completes every in-flight request: force-kick queues
+// with queued requests, let pump run the backend, and poll until the
+// outstanding count reaches zero. This is the quiesce primitive the
+// mode switch calls for rings caught mid-flight; an error means the
+// datapath is wedged and the switch must not commit.
+func (f *MQBlockFrontend) Drain(c *hw.CPU, pump func(*hw.CPU), fn func(xen.BlkResponse)) error {
+	for round := 0; f.Outstanding() > 0; round++ {
+		if round >= 10000 {
+			return fmt.Errorf("guest: blkmq drain wedged: %d requests still outstanding",
+				f.Outstanding())
+		}
+		for qi, q := range f.Queues {
+			if q.Ring.RequestsPending() > 0 {
+				f.ForceKick(c, qi)
+			}
+		}
+		if pump != nil {
+			pump(c)
+		}
+		for qi := range f.Queues {
+			f.Poll(c, qi, fn)
+		}
+	}
+	return nil
+}

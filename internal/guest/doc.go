@@ -9,4 +9,12 @@
 // kernel runs on bare hardware (N-L, M-N), as a Xen driver domain (X-0,
 // M-V) or as an unprivileged domain with split I/O (X-U, M-U), and can be
 // relocated between those modes while running.
+//
+// MQBlockFrontend is the production frontend of the §5.2 split-device
+// datapath (DESIGN.md §16): per-queue xen.IORing submission with
+// coalesced doorbells (Kick rings only the queues whose push crossed
+// the backend's advertised wake mark; ForceKick covers sub-threshold
+// tails), grant-per-request buffer handoff, and a Drain loop that
+// polls responses with the FINAL-CHECK re-arm so a suppressed
+// doorbell can never strand a completion.
 package guest

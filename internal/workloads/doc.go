@@ -5,4 +5,13 @@
 // against the guest kernel's process API, so the same program runs
 // unchanged on all six system configurations; the configurations differ
 // only in which virtualization object and drivers sit underneath.
+//
+// RunIOServer is the split-device request server: an open-loop,
+// seeded request stream (configurable read/write mix) served by the
+// native block driver in M-N or through the §5.2 multi-queue datapath
+// in M-V, optionally firing a mode switch at 50% completion. It
+// reports latency quantiles, doorbell-suppression counters, a
+// separate quantile set for requests in flight across the switch
+// window, and an exactly-once verdict (duplicates and losses are
+// counted and must be zero) — the measurement behind benchtab -exp io.
 package workloads

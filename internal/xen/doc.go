@@ -5,4 +5,16 @@
 // from-scratch reimplementation of the Xen 3.0.x mechanisms the paper's
 // prototype relies on, reduced to the parts that determine behaviour and
 // cost.
+//
+// The split-device datapath (paper §5.2) has two tiers. Ring and the
+// block/net backends in backend.go are the teaching version: one
+// request per doorbell, backend called as a function. IORing and
+// BlkMQBackend are the production version: multi-queue rings moving
+// request bursts under one charge, event-index doorbell suppression
+// with a coalescing re-arm threshold (FinishRequestConsume's FINAL
+// CHECK prevents lost wakeups), batched all-or-nothing grant mapping
+// (GrantMapBatch, one idempotent unmap per burst), and a backend served
+// from the driver domain's scheduler slice (Domain.BackgroundWork) with
+// adjacent-block merging and a stall-detecting progress audit. See
+// DESIGN.md §16 for the protocol.
 package xen

@@ -69,8 +69,10 @@ type Domain struct {
 	// ports is the domain's event-channel table.
 	ports []*channel
 
-	// grants is the domain's grant table.
-	grants []*grantEntry
+	// grants is the domain's grant table; grantFree recycles revoked
+	// refs so GrantAccess stays O(1) on a fragmented table.
+	grants    []*grantEntry
+	grantFree []GrantRef
 
 	// pinnedRoots tracks page-directory roots this domain has pinned.
 	pinnedRoots map[hw.PFN]bool

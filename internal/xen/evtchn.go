@@ -109,6 +109,36 @@ func (v *VMM) EvtchnSend(c *hw.CPU, d *Domain, p Port) error {
 	return nil
 }
 
+// evtchnMarkPending is the in-batch half of an MCEvtchnSend op: it
+// validates the port, charges the send, and marks the remote end
+// pending — but defers the upcall to HypMulticall, which delivers it
+// for each kicked domain after the MMU lock drops.
+func (v *VMM) evtchnMarkPending(c *hw.CPU, d *Domain, p Port, m *Multicall) error {
+	if int(p) >= len(d.ports) || d.ports[p].state != chanInterdomain {
+		return fmt.Errorf("xen: dom%d send on invalid port %d", d.ID, p)
+	}
+	ch := d.ports[p]
+	rd := v.Domains[ch.remoteDom]
+	if rd == nil {
+		return fmt.Errorf("xen: dom%d send to vanished dom%d", d.ID, ch.remoteDom)
+	}
+	c.Charge(v.M.Costs.EventSend)
+	d.Stats.EventsOut.Add(1)
+	v.traceEmit(c, TrcEventSend, d, uint64(p))
+	if h := v.tel(); h != nil {
+		h.eventsSent.Inc()
+	}
+	rd.ports[ch.remotePort].pending = true
+	rd.Stats.EventsIn.Add(1)
+	for _, k := range m.kicked {
+		if k == rd {
+			return nil
+		}
+	}
+	m.kicked = append(m.kicked, rd)
+	return nil
+}
+
 // maybeDeliverUpcall switches to rd and drains its pending ports if it is
 // interruptible and not already active on this CPU.
 func (v *VMM) maybeDeliverUpcall(c *hw.CPU, rd *Domain) {

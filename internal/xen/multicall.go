@@ -48,6 +48,12 @@ const (
 	MCSetTrapTable
 	// MCBindVirqTimer binds the virtual timer interrupt to Timer.
 	MCBindVirqTimer
+	// MCEvtchnSend rings the event channel Port. Inside the batch it
+	// only marks the remote port pending; the upcalls for every kicked
+	// domain are delivered once, after the batch commits — this is how
+	// a multi-queue frontend folds all its queue doorbells into one
+	// VMM entry.
+	MCEvtchnSend
 )
 
 // String names the op kind (error messages, traces).
@@ -71,6 +77,8 @@ func (k MCOpKind) String() string {
 		return "set_trap_table"
 	case MCBindVirqTimer:
 		return "bind_virq_timer"
+	case MCEvtchnSend:
+		return "evtchn_send"
 	}
 	return fmt.Sprintf("mc_op(%d)", uint8(k))
 }
@@ -84,6 +92,7 @@ type MCOp struct {
 	VA     hw.VirtAddr   // MCInvlpg
 	Traps  []TrapEntry   // MCSetTrapTable
 	Timer  func(*hw.CPU) // MCBindVirqTimer
+	Port   Port          // MCEvtchnSend
 }
 
 // Multicall is a reusable batch of operations. The zero value is ready
@@ -97,6 +106,12 @@ type Multicall struct {
 	// error it is the length of the applied prefix, which is what a
 	// transactional caller must unwind.
 	Applied int
+
+	// kicked collects the distinct domains whose ports MCEvtchnSend
+	// ops marked pending; HypMulticall delivers their upcalls after
+	// the MMU lock drops (delivering under the lock would deadlock:
+	// backend handlers take it again for grant maps).
+	kicked []*Domain
 }
 
 // Reset empties the batch, keeping capacity.
@@ -106,6 +121,10 @@ func (m *Multicall) Reset() {
 	}
 	m.Ops = m.Ops[:0]
 	m.Applied = 0
+	for i := range m.kicked {
+		m.kicked[i] = nil
+	}
+	m.kicked = m.kicked[:0]
 }
 
 // Len returns the number of enqueued ops.
@@ -156,6 +175,11 @@ func (m *Multicall) AddBindVirqTimer(h func(*hw.CPU)) {
 	m.Ops = append(m.Ops, MCOp{Kind: MCBindVirqTimer, Timer: h})
 }
 
+// AddEvtchnSend enqueues an event-channel doorbell on p.
+func (m *Multicall) AddEvtchnSend(p Port) {
+	m.Ops = append(m.Ops, MCOp{Kind: MCEvtchnSend, Port: p})
+}
+
 // HypMulticall executes the batch in one world switch: one
 // WorldSwitch + HypercallBase for the entry, MulticallPerOp per op for
 // the VMM's dispatch, and each op's own validation costs — instead of
@@ -167,6 +191,7 @@ func (m *Multicall) AddBindVirqTimer(h func(*hw.CPU)) {
 // path, before returning.
 func (v *VMM) HypMulticall(c *hw.CPU, d *Domain, m *Multicall) error {
 	m.Applied = 0
+	m.kicked = m.kicked[:0]
 	if len(m.Ops) == 0 {
 		return nil
 	}
@@ -184,8 +209,15 @@ func (v *VMM) HypMulticall(c *hw.CPU, d *Domain, m *Multicall) error {
 		fr.h.multicallOps.Add(uint64(len(m.Ops)))
 	}
 	v.lockMMU(c)
-	defer v.unlockMMU()
-	return v.multicallLocked(c, d, m)
+	err := v.multicallLocked(c, d, m)
+	v.unlockMMU()
+	// Deliver the upcalls for every domain an MCEvtchnSend kicked, now
+	// that the MMU lock has dropped: the handlers are backend drains
+	// that map grants, which takes the lock again.
+	for _, rd := range m.kicked {
+		v.maybeDeliverUpcall(c, rd)
+	}
+	return err
 }
 
 // multicallLocked dispatches the ops (MMU lock held, PL0).
@@ -223,6 +255,8 @@ func (v *VMM) multicallLocked(c *hw.CPU, d *Domain, m *Multicall) error {
 			}
 		case MCBindVirqTimer:
 			d.TimerHandler = op.Timer
+		case MCEvtchnSend:
+			err = v.evtchnMarkPending(c, d, op.Port, m)
 		default:
 			err = fmt.Errorf("xen: multicall: unknown op kind %d", op.Kind)
 		}

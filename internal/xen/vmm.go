@@ -111,6 +111,12 @@ type vmmObs struct {
 	blkRequests    *obs.Counter
 	netTxPackets   *obs.Counter
 	netRxPackets   *obs.Counter
+	ringKicks      *obs.Counter
+	ringSuppressed *obs.Counter
+	ringBurst      *obs.Histogram
+	ringDepth      *obs.Histogram
+	grantBatches   *obs.Counter
+	grantBatchRefs *obs.Counter
 }
 
 // tel returns the cached telemetry handles, or nil when no collector
@@ -139,6 +145,12 @@ func (v *VMM) tel() *vmmObs {
 			blkRequests:    r.Counter("xen", "backend_requests_total", obs.L("dev", "blk")),
 			netTxPackets:   r.Counter("xen", "backend_packets_total", obs.L("dev", "net"), obs.L("dir", "tx")),
 			netRxPackets:   r.Counter("xen", "backend_packets_total", obs.L("dev", "net"), obs.L("dir", "rx")),
+			ringKicks:      r.Counter("xen", "ring_doorbells_total"),
+			ringSuppressed: r.Counter("xen", "ring_doorbells_suppressed_total"),
+			ringBurst:      r.Histogram("xen", "ring_burst_requests"),
+			ringDepth:      r.Histogram("xen", "ring_depth"),
+			grantBatches:   r.Counter("xen", "grant_map_batches_total"),
+			grantBatchRefs: r.Counter("xen", "grant_map_batch_refs_total"),
 		}
 		if v.Trace != nil {
 			// Adopt the trace ring's drop count so metrics exports flag
@@ -148,6 +160,22 @@ func (v *VMM) tel() *vmmObs {
 		v.obsCache.Store(h)
 	}
 	return h
+}
+
+// NoteDoorbell feeds the ring-doorbell instruments: one event-index
+// notify decision from either end of a datapath ring (sent means the
+// doorbell was rung; otherwise suppression elided it). Frontends
+// outside this package report their decisions through it.
+func (v *VMM) NoteDoorbell(sent bool) {
+	h := v.tel()
+	if h == nil {
+		return
+	}
+	if sent {
+		h.ringKicks.Inc()
+	} else {
+		h.ringSuppressed.Inc()
+	}
 }
 
 // VMMStats counts hypervisor-level events. Atomic: hypercalls arrive
